@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate the paper's tables and figures.  Two speed classes:
+
+* surrogate benches (``test_table1.py``, ``test_figure1.py``,
+  ``test_gpu_hours.py``, ``test_tradeoff.py``) run in seconds;
+* micro-training benches (``*_micro.py``) really train models and take
+  minutes each; deselect with ``-k "not micro"`` when iterating.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.core import AstroLLaMAPipeline, PipelineConfig
+from repro.core.world import MicroWorld
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """One shared micro world for all micro-training benches."""
+    return MicroWorld.build_bench(seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_world):
+    """One shared pipeline: bases/CPTs/full results are cached per entry,
+    so the whole micro-bench suite trains each model exactly once.
+
+    Evaluation is trimmed (80 questions, 24 generated tokens) to keep the
+    suite within a single-CPU hour; the qualitative assertions are robust
+    at that sample size (binomial sigma ~5 points)."""
+    return AstroLLaMAPipeline(
+        bench_world,
+        PipelineConfig(max_questions=80, gen_max_new_tokens=24),
+    )
+
+
+@pytest.fixture(scope="session")
+def test_world():
+    """A smaller world for cheaper micro benches."""
+    return MicroWorld.build_test(seed=0)

@@ -1,0 +1,80 @@
+"""Experiment F1 — Figure 1 regeneration.
+
+Rebuilds the paper's figure data (per-model symbols for the three methods,
+grouped by model series, with native full-instruct baselines as horizontal
+lines) and asserts its visual structure: which symbols sit above/below the
+baseline lines.
+"""
+
+import pytest
+
+from repro.analysis import build_figure1, render_figure1_ascii, table_one_from_surrogate
+from repro.analysis.figures import SERIES_ORDER
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return build_figure1(table_one_from_surrogate())
+
+
+def test_figure1_regeneration(benchmark):
+    fig = benchmark(lambda: build_figure1(table_one_from_surrogate()))
+    print("\n" + render_figure1_ascii(fig))
+    assert len(fig.points) == 8
+    # inline contract for benchmark-only runs: baselines present, 70B gain
+    for series in SERIES_ORDER:
+        assert series in fig.baselines
+    assert (
+        fig.points["AstroLLaMA-2-70B-AIC"]["token_base"]
+        > fig.points["LLaMA-2-70B"]["token_base"]
+    )
+
+
+def test_all_series_present_with_baselines(figure):
+    for series in SERIES_ORDER:
+        assert series in figure.series
+        assert series in figure.baselines
+
+
+def test_baselines_are_native_full_instruct(figure):
+    assert figure.baselines[SERIES_ORDER[0]] == pytest.approx(50.3, abs=0.5)
+    assert figure.baselines[SERIES_ORDER[1]] == pytest.approx(72.9, abs=0.5)
+    assert figure.baselines[SERIES_ORDER[2]] == pytest.approx(70.7, abs=0.5)
+
+
+def test_7b_decrement_visible(figure):
+    """AstroLLaMA-2-7B symbols all sit below the 7B baseline line."""
+    base = figure.baselines[SERIES_ORDER[0]]
+    for model in ("AstroLLaMA-2-7B-AIC", "AstroLLaMA-2-7B-Abstract"):
+        for score in figure.points[model].values():
+            if score is not None:
+                assert score < base
+
+
+def test_70b_token_symbols_above_everything_in_series(figure):
+    """The 70B story: AstroLLaMA token symbols above the native's scores."""
+    astro = figure.points["AstroLLaMA-2-70B-AIC"]
+    native = figure.points["LLaMA-2-70B"]
+    assert astro["token_base"] > native["token_base"]
+    assert astro["token_instruct"] > native["token_instruct"]
+    # ...while its full-instruct symbol falls below the baseline line
+    assert astro["full_instruct"] < figure.baselines[SERIES_ORDER[2]]
+
+
+def test_instruct_methods_below_token_base_for_astrollama(figure):
+    """Figure caption: 'across all models, the instruct versions ...
+    perform worse than the next-token prediction task'."""
+    for model in (
+        "AstroLLaMA-2-7B-AIC",
+        "AstroLLaMA-3-8B-AIC",
+        "AstroLLaMA-3-8B-Summary",
+        "AstroLLaMA-2-70B-AIC",
+    ):
+        pts = figure.points[model]
+        assert pts["full_instruct"] <= pts["token_base"]
+
+
+def test_ascii_rendering_contains_all_models(figure):
+    art = render_figure1_ascii(figure)
+    for name in figure.points:
+        assert name in art

@@ -1,0 +1,55 @@
+"""Experiment M1 — capacity-dependent CPT outcome, really trained.
+
+The paper's central mechanism: the same CPT recipe *degrades* the
+small-capacity model (catastrophic forgetting, the 7B rows of Table I) but
+*helps or spares* the large one (the 70B row).  This bench runs the shared
+pipeline for the native and CPT'd entries at both capacity extremes and
+asserts the capacity ordering of the base-token deltas.
+
+Slow: real training on the NumPy stack (shared across the micro suite via
+the session pipeline).  Deselect with ``-k "not micro"``.
+"""
+
+import pytest
+
+from repro.core import get_entry
+
+
+@pytest.fixture(scope="module")
+def deltas(bench_pipeline):
+    out = {}
+    for native_name, astro_name in [
+        ("LLaMA-2-7B", "AstroLLaMA-2-7B-AIC"),
+        ("LLaMA-2-70B", "AstroLLaMA-2-70B-AIC"),
+    ]:
+        native = bench_pipeline.run(get_entry(native_name))
+        astro = bench_pipeline.run(get_entry(astro_name))
+        out[native_name] = (
+            native.evaluations["token_base"].score_percent,
+            astro.evaluations["token_base"].score_percent,
+        )
+    return out
+
+
+def test_m1_forgetting_micro(benchmark, deltas):
+    def report():
+        return [
+            f"{name}: {before:.1f} -> {after:.1f} (Δ {after - before:+.1f})"
+            for name, (before, after) in deltas.items()
+        ]
+
+    rows = benchmark.pedantic(report, rounds=1, iterations=1)
+    print("\n" + "\n".join(rows))
+    small_delta = deltas["LLaMA-2-7B"][1] - deltas["LLaMA-2-7B"][0]
+    large_delta = deltas["LLaMA-2-70B"][1] - deltas["LLaMA-2-70B"][0]
+    # the paper's shape: large-capacity CPT strictly better than small's
+    assert large_delta > small_delta
+
+
+def test_m1_baselines_above_chance(deltas):
+    for name, (before, _) in deltas.items():
+        assert before > 35.0, f"{name} base failed to learn (score {before:.1f})"
+
+
+def test_m1_large_base_at_least_small_base(deltas):
+    assert deltas["LLaMA-2-70B"][0] >= deltas["LLaMA-2-7B"][0] - 2.0

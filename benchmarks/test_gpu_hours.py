@@ -1,0 +1,67 @@
+"""Experiment C1 — Section III cost accounting regeneration.
+
+The paper reports: CPT ~32 A100-h (8B) and ~2,000 A100-h (70B); SFT ~12 and
+~100 A100-h; full-instruct inference over 4,425 MCQs ~64 A100-h (70B).
+The cluster model regenerates all five from FLOP rules; assertions hold
+each to within a factor-2 band and the ratios much tighter.
+"""
+
+import pytest
+
+from repro.core.cost import paper_cost_accounting
+from repro.parallel import ClusterModel
+
+
+@pytest.fixture(scope="module")
+def report():
+    return paper_cost_accounting()
+
+
+def test_cost_accounting_regeneration(benchmark):
+    rep = benchmark(paper_cost_accounting)
+    print("\n" + rep.render())
+    assert set(rep.estimates) == {
+        "cpt_8b",
+        "cpt_70b",
+        "sft_8b",
+        "sft_70b",
+        "inference_70b",
+    }
+    assert rep.within_band(2.0), rep.render()
+
+
+def test_all_figures_within_factor_two(report):
+    assert report.within_band(2.0), report.render()
+
+
+def test_cpt_figures_tight(report):
+    assert report.estimates["cpt_8b"].gpu_hours == pytest.approx(32, rel=0.25)
+    assert report.estimates["cpt_70b"].gpu_hours == pytest.approx(2000, rel=0.25)
+
+
+def test_cpt_scaling_ratio(report):
+    """70B/8B CPT cost ratio: the paper's 2000/32 ~= 62x (parameter ratio
+    8.75x times the multi-node MFU penalty)."""
+    ratio = (
+        report.estimates["cpt_70b"].gpu_hours / report.estimates["cpt_8b"].gpu_hours
+    )
+    assert 40 <= ratio <= 90
+
+
+def test_sft_scales_with_parameters(report):
+    ratio = (
+        report.estimates["sft_70b"].gpu_hours / report.estimates["sft_8b"].gpu_hours
+    )
+    assert ratio == pytest.approx(70 / 8, rel=0.15)
+
+
+def test_70b_needs_multiple_nodes():
+    cluster = ClusterModel()
+    assert cluster.min_training_gpus(70e9) > cluster.gpus_per_node
+    assert cluster.min_training_gpus(8e9) <= cluster.gpus_per_node
+
+
+def test_paper_epoch_magnitude():
+    """Sanity: O(10^3) GPU-hours for the 70B CPT, as Section VII states."""
+    rep = paper_cost_accounting()
+    assert 1e3 <= rep.estimates["cpt_70b"].gpu_hours < 1e4

@@ -1,0 +1,109 @@
+"""Experiment P1 — training-system scaling (the substrate behind §III).
+
+The paper's 70B runs depended on efficient multi-GPU training; this bench
+characterizes the simulated system layer:
+
+* data-parallel scaling efficiency under the ring all-reduce cost model;
+* pipeline bubble fractions vs microbatch count (GPipe and 1F1B);
+* the communication/computation ratio crossing as models shrink.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelConfig
+from repro.parallel import (
+    DataParallelTrainer,
+    DDPConfig,
+    DeviceMesh,
+    RingCostModel,
+    gpipe_schedule,
+    one_f_one_b_schedule,
+)
+
+
+def _run_ddp(world: int, steps: int = 4):
+    mesh = DeviceMesh(1, world)
+    cfg = ModelConfig(vocab_size=64, d_model=16, n_layers=1, n_heads=2, max_seq_len=32)
+    # per-rank batch 16 x seq 32 = 512 tokens: compute-dominated, as real
+    # training is (tiny per-rank batches would be latency-dominated).
+    trainer = DataParallelTrainer(
+        mesh, cfg, DDPConfig(learning_rate=1e-3, total_steps=steps)
+    )
+    rng = np.random.default_rng(0)
+
+    def batches():
+        for _ in range(steps):
+            x = rng.integers(1, 64, size=(16 * world, 32))
+            yield x, np.roll(x, -1, axis=1)
+
+    return trainer, trainer.train(batches())
+
+
+def test_p1_ddp_weak_scaling(benchmark):
+    """Weak scaling: per-step simulated time roughly flat as ranks grow
+    with the global batch (communication adds only the ring term)."""
+
+    def sweep():
+        times = {}
+        for world in (1, 2, 4, 8):
+            _, result = _run_ddp(world)
+            times[world] = result.simulated_total_seconds / result.steps
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + "\n".join(f"ranks={w}: {t * 1e6:.1f} us/step" for w, t in times.items()))
+    # weak scaling: 8 ranks no worse than 3x the single-rank step time
+    assert times[8] < times[1] * 3.0
+
+
+def test_p1_ddp_strong_scaling_efficiency():
+    """Strong scaling: fixed global batch split over more ranks."""
+    mesh_sizes = (1, 2, 4, 8)
+    serial_time = None
+    for world in mesh_sizes:
+        mesh = DeviceMesh(1, world)
+        cfg = ModelConfig(vocab_size=64, d_model=16, n_layers=1, n_heads=2, max_seq_len=16)
+        trainer = DataParallelTrainer(
+            mesh, cfg, DDPConfig(learning_rate=1e-3, total_steps=2)
+        )
+        rng = np.random.default_rng(0)
+
+        def batches():
+            for _ in range(2):
+                x = rng.integers(1, 64, size=(16, 8))
+                yield x, np.roll(x, -1, axis=1)
+
+        result = trainer.train(batches())
+        if world == 1:
+            serial_time = result.simulated_total_seconds
+        else:
+            eff = result.parallel_efficiency(serial_time, world)
+            assert 0.05 < eff <= 1.01
+
+
+def test_p1_bubble_fraction_sweep(benchmark):
+    def sweep():
+        rows = []
+        for m in (4, 8, 16, 32, 64):
+            g = gpipe_schedule(8, m)
+            f = one_f_one_b_schedule(8, m)
+            rows.append((m, g.bubble_fraction(), f.peak_in_flight(), g.peak_in_flight()))
+        return rows
+
+    rows = benchmark(sweep)
+    print("\nmicrobatches  bubble  1f1b-mem  gpipe-mem")
+    for m, bubble, fmem, gmem in rows:
+        print(f"{m:>11d}  {bubble:6.1%}  {fmem:>8d}  {gmem:>9d}")
+    bubbles = [r[1] for r in rows]
+    assert bubbles == sorted(bubbles, reverse=True)  # more microbatches -> less bubble
+    assert all(r[2] <= 8 for r in rows)  # 1F1B memory bounded by stage count
+
+
+def test_p1_cross_node_penalty():
+    """All-reduce across nodes costs more than within a node."""
+    cm = RingCostModel()
+    nbytes = 1 << 28
+    assert cm.all_reduce_time(nbytes, 8, True) > 5 * cm.all_reduce_time(
+        nbytes, 8, False
+    )

@@ -1,0 +1,51 @@
+"""Experiment M2 — SFT degradation, really trained.
+
+Table I / Figure 1's cross-cutting observation: for the AstroLLaMA models,
+full-instruct scores fall below the base model's next-token scores — the
+small, mostly-general SFT set drags conversational answering below the
+knowledge the base model demonstrably holds.
+
+Uses the shared session pipeline (models train once across the micro
+suite).  Deselect with ``-k "not micro"``.
+"""
+
+import pytest
+
+from repro.core import get_entry
+
+
+@pytest.fixture(scope="module")
+def result(bench_pipeline):
+    return bench_pipeline.run(get_entry("AstroLLaMA-2-7B-AIC"))
+
+
+def test_m2_sft_degradation_micro(benchmark, result):
+    def report():
+        return {
+            method: ev.score_percent for method, ev in result.evaluations.items()
+        }
+
+    scores = benchmark.pedantic(report, rounds=1, iterations=1)
+    print("\n" + "\n".join(f"{k}: {v:.1f}%" for k, v in scores.items()))
+    # the paper's shape: full instruct <= base-model token prediction
+    assert scores["full_instruct"] <= scores["token_base"] + 2.0
+
+
+def test_m2_full_instruct_parses_some_answers(result):
+    """The instruct model must actually produce parseable answers — the
+    degradation is about accuracy, not a broken generation path.  (The
+    paper saw the same with weak models: the regex stage often failed and
+    the interpreter fallback recovered the intent; 35% direct+fallback
+    parse is the floor for 'the pipeline is alive'.)"""
+    ev = result.evaluations["full_instruct"]
+    parsed = ev.n_questions - ev.parse_failures
+    assert parsed >= ev.n_questions * 0.35
+
+
+def test_m2_token_methods_agree_with_knowledge(result):
+    """Instruct-model token prediction stays within a few points of the
+    base model (the paper: SFT shifts token scores far less than it shifts
+    full-instruct behaviour)."""
+    tb = result.evaluations["token_base"].score_percent
+    ti = result.evaluations["token_instruct"].score_percent
+    assert abs(ti - tb) <= 15.0

@@ -1,0 +1,64 @@
+"""Experiment T1 (micro path) — Table I measured on the micro zoo.
+
+Runs the full pipeline (pretrain -> CPT -> SFT -> three-method evaluation)
+for every Table-I row on the benchmark world and prints the measured table
+next to the paper's.  Absolute values are micro-scale; the assertions check
+the qualitative contract only (orderings and arrows the paper reports).
+
+This is the slowest bench in the harness (~45-60 min on one CPU): three
+base pretrains past the circuit-emergence threshold plus five CPTs, six
+SFTs and 24 evaluations.  Deselect with ``-k "not micro"``.
+"""
+
+import pytest
+
+from repro.core import TableOne, zoo_entries
+
+
+@pytest.fixture(scope="module")
+def micro_table(bench_pipeline):
+    table = TableOne(similar_band=3.0)
+    for entry in zoo_entries():
+        result = bench_pipeline.run(entry)
+        table.add(result.score_card())
+    return table
+
+
+def test_t1_micro_table(benchmark, micro_table):
+    rendered = benchmark.pedantic(
+        micro_table.render, kwargs={"show_paper": True}, rounds=1, iterations=1
+    )
+    print("\n" + rendered)
+    assert len(micro_table.cards) == 8
+
+
+def test_t1_micro_70b_cpt_gains(micro_table):
+    """The headline: CPT improves the large tier's base-token score."""
+    astro = micro_table.cards["AstroLLaMA-2-70B-AIC"].score("token_base")
+    native = micro_table.cards["LLaMA-2-70B"].score("token_base")
+    assert astro > native - 1.0
+
+
+def test_t1_micro_7b_cpt_hurts_relative_to_70b(micro_table):
+    """Capacity ordering of CPT deltas (the paper's key contrast)."""
+    d7 = micro_table.cards["AstroLLaMA-2-7B-AIC"].score("token_base") - (
+        micro_table.cards["LLaMA-2-7B"].score("token_base")
+    )
+    d70 = micro_table.cards["AstroLLaMA-2-70B-AIC"].score("token_base") - (
+        micro_table.cards["LLaMA-2-70B"].score("token_base")
+    )
+    assert d70 > d7
+
+
+def test_t1_micro_llama3_beats_llama2_tiny(micro_table):
+    """Generation gap: the 8B-tier baseline outscores the 7B-tier one."""
+    assert micro_table.cards["LLaMA-3-8B"].score("token_base") > (
+        micro_table.cards["LLaMA-2-7B"].score("token_base")
+    )
+
+
+def test_t1_micro_sft_drag(micro_table):
+    """Full-instruct <= base-token for specialized models (Figure 1 note)."""
+    for name in ("AstroLLaMA-2-7B-AIC", "AstroLLaMA-2-70B-AIC"):
+        card = micro_table.cards[name]
+        assert card.score("full_instruct") <= card.score("token_base") + 3.0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Build and inspect the full-scale MCQ benchmark (885 x 5 = 4,425 MCQs).
+
+Demonstrates the Section IV pipeline at the paper's exact scale: synthetic
+ARAA review generation, MCQ extraction under the design rules, quality
+validation, and the answer-parsing pipeline on synthetic model outputs.
+
+Run:  python examples/benchmark_inspection.py
+"""
+
+import numpy as np
+
+from repro.corpus import make_astro_knowledge
+from repro.eval.parsing import parse_model_answer
+from repro.eval.prompts import format_next_token_prompt, format_paper_full_instruct
+from repro.mcq import build_benchmark, validate_benchmark
+
+
+def main() -> None:
+    print("== building the paper-scale benchmark (885 articles x 5 MCQs) ==")
+    knowledge = make_astro_knowledge(n_facts=1200, seed=0, subject_multiplier=8)
+    benchmark = build_benchmark(knowledge, n_articles=885, dev_size=8, seed=0)
+    print(f"   questions: {len(benchmark)} "
+          f"({len(benchmark.test)} test, {len(benchmark.dev)} dev)")
+
+    print("\n== quality validation (the paper's MCQ design rules) ==")
+    report = validate_benchmark(benchmark.questions)
+    print(f"   passed: {report.passed}")
+    print(f"   equal-length-option violations: "
+          f"{len(report.option_length_violations)}")
+    print(f"   duplicate-option violations:    "
+          f"{len(report.duplicate_option_violations)}")
+    print(f"   article-dependence violations:  "
+          f"{len(report.dependence_violations)}")
+    print(f"   answer-letter counts: {dict(sorted(report.letter_counts.items()))} "
+          f"(max skew from uniform: {report.max_letter_skew:.3f})")
+
+    per_topic = {}
+    for q in benchmark.questions:
+        per_topic[q.topic] = per_topic.get(q.topic, 0) + 1
+    print("\n== topic distribution ==")
+    for topic, count in sorted(per_topic.items()):
+        print(f"   {topic:<36s} {count:>5d}")
+
+    q = benchmark.test[0]
+    print("\n== prompt renderings for one question ==")
+    print("-- Appendix B (full instruct, JSON contract) --")
+    print(format_paper_full_instruct(q))
+    print("\n-- Appendix C (two-shot next-token) --")
+    print(format_next_token_prompt(q, benchmark.few_shot(2)))
+
+    print("\n== the two-stage answer parser on synthetic model outputs ==")
+    samples = [
+        '{"ANSWER": "%s", "EXPLANATION": "standard astrophysics"}' % q.correct_letter,
+        f"After consideration, the answer is {q.correct_letter}.",
+        f"Based on stellar physics the value must be {q.options[q.correct_idx]}",
+        "I am unable to determine the answer to this question.",
+    ]
+    for text in samples:
+        outcome = parse_model_answer(text, q.options)
+        verdict = (
+            "correct"
+            if outcome.answer_idx == q.correct_idx
+            else ("wrong" if outcome.parsed else "unparsed")
+        )
+        print(f"   [{outcome.stage:<11s}] {verdict:<8s} <- {text[:60]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The benchmark release flow (Appendix A).
+
+The paper releases its MCQ benchmark "but will withhold the answer key to
+prevent question leakage and maintain an objective benchmark".  This
+example walks that flow end to end:
+
+1. build the paper-scale benchmark (885 x 5 = 4,425 MCQs);
+2. export the public file (questions + options only) and the withheld key;
+3. verify the public file leaks nothing;
+4. score a submission through the key-holder's leakage-resistant scorer.
+
+Run:  python examples/release_benchmark.py [outdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.corpus import make_astro_knowledge
+from repro.mcq import (
+    ScoringServer,
+    build_benchmark,
+    export_answer_key,
+    export_public,
+    verify_release_integrity,
+)
+from repro.mcq.release import _fingerprint
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    print("== building the paper-scale benchmark ==")
+    knowledge = make_astro_knowledge(n_facts=1200, seed=0, subject_multiplier=8)
+    benchmark = build_benchmark(knowledge, n_articles=885, dev_size=8, seed=0)
+    print(f"   {len(benchmark)} questions")
+
+    public_path = outdir / "astro_mcq_public.json"
+    key_path = outdir / "astro_mcq_answer_key.json"
+    n = export_public(benchmark, public_path)
+    export_answer_key(benchmark, key_path)
+    print(f"   public file: {public_path} ({n} questions, "
+          f"{public_path.stat().st_size // 1024} KiB)")
+    print(f"   withheld key: {key_path}")
+
+    print("\n== leakage audit of the public file ==")
+    problems = verify_release_integrity(public_path)
+    print(f"   problems found: {len(problems)}")
+    assert not problems
+
+    print("\n== scoring submissions through the key holder ==")
+    server = ScoringServer.from_key_file(key_path)
+    rng = np.random.default_rng(0)
+
+    submissions = {
+        "random guesser": {
+            _fingerprint(q): int(rng.integers(0, 4)) for q in benchmark.questions
+        },
+        "oracle": {
+            _fingerprint(q): q.correct_idx for q in benchmark.questions
+        },
+        "abstainer (unparseable)": {
+            _fingerprint(q): None for q in benchmark.questions
+        },
+    }
+    for name, preds in submissions.items():
+        result = server.score(preds)
+        print(f"   {name:<26s} accuracy {result['accuracy'] * 100:5.1f}% "
+              f"on {result['n']:.0f} questions")
+
+    print("\n== probing resistance ==")
+    try:
+        server.score({_fingerprint(benchmark.questions[0]): 0})
+    except ValueError as exc:
+        print(f"   single-question probe rejected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Regenerate every headline artifact of the paper from the surrogate.
+
+Prints, in order:
+
+* Table I (8 models x 3 methods, with better/worse/similar arrows and the
+  paper's values side by side);
+* Figure 1 (ASCII rendering of the per-series symbol plot);
+* the Section III GPU-hour cost accounting;
+* the Section VI score/price trade-off claims;
+* the qualitative shape checks (the reproduction contract).
+
+Run:  python examples/reproduce_table1.py
+"""
+
+from repro.analysis import (
+    build_figure1,
+    render_figure1_ascii,
+    render_table_one_markdown,
+    table_one_from_surrogate,
+)
+from repro.core.cost import paper_cost_accounting
+from repro.scale import ScorePriceFrontier
+
+
+def main() -> None:
+    table = table_one_from_surrogate()
+
+    print("=" * 78)
+    print("TABLE I — performance of LLaMA and AstroLLaMA models")
+    print("=" * 78)
+    print(table.render(show_paper=True))
+
+    print()
+    print("markdown version:")
+    print(render_table_one_markdown(table))
+
+    print()
+    print("=" * 78)
+    print("FIGURE 1 — per-series method scores with native baselines")
+    print("=" * 78)
+    print(render_figure1_ascii(build_figure1(table)))
+
+    print()
+    print("=" * 78)
+    print("SECTION III — GPU-hour cost accounting (A100-hours)")
+    print("=" * 78)
+    print(paper_cost_accounting().render())
+
+    print()
+    print("=" * 78)
+    print("SECTION VI — score/price trade-off")
+    print("=" * 78)
+    frontier = ScorePriceFrontier()
+    for key, value in frontier.paper_claims().items():
+        print(f"  {key}: {value:.3f}")
+    print("  flagship comparison for AstroLLaMA-2-70B (76.0):")
+    for name, delta in frontier.flagship_comparison(76.0):
+        print(f"    vs {name}: {delta:+.1f} points")
+
+    print()
+    print("=" * 78)
+    print("REPRODUCTION CONTRACT — qualitative shape checks")
+    print("=" * 78)
+    for check, ok in table.shape_checks().items():
+        print(f"  [{'PASS' if ok else 'FAIL'}] {check}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""AstroMLab 2 reproduction: AstroLLaMA-2-70B and benchmarking specialised
+LLMs for astronomy (SC 2024), on a micro-scale NumPy LLM substrate.
+
+Public API tour
+---------------
+
+Worlds and data::
+
+    from repro.core.world import MicroWorld
+    world = MicroWorld.build_test()          # knowledge + archive + benchmark
+
+Models and training::
+
+    from repro.core import AstroLLaMAPipeline, get_entry
+    pipe = AstroLLaMAPipeline(world)
+    result = pipe.run(get_entry("AstroLLaMA-2-70B-AIC"))  # pretrain->CPT->SFT->eval
+
+Headline results::
+
+    from repro.analysis import table_one_from_surrogate
+    print(table_one_from_surrogate().render())  # Table I, calibrated surrogate
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.world import MicroWorld, WorldConfig
+from repro.core.zoo import MICRO_ZOO, get_entry, zoo_entries
+
+__all__ = [
+    "__version__",
+    "MicroWorld",
+    "WorldConfig",
+    "MICRO_ZOO",
+    "get_entry",
+    "zoo_entries",
+]

@@ -1,0 +1,103 @@
+"""Figure 1: per-series scores with native-baseline reference lines.
+
+The paper's Figure 1 plots, for each model, three symbols (one per
+benchmarking method) grouped by model series, with horizontal lines at the
+native models' full-instruct scores.  :class:`Figure1Data` is the exact
+data behind that plot; :func:`render_figure1_ascii` draws it in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scorecards import METHODS, TableOne
+from repro.core.zoo import zoo_entries
+
+_SYMBOLS = {"full_instruct": "o", "token_instruct": "x", "token_base": "*"}
+
+SERIES_ORDER = (
+    "LLaMA-2 7B series",
+    "LLaMA-3 8B series",
+    "LLaMA-2 70B series",
+)
+
+
+def _series_of(entry) -> str:
+    if entry.params_label == "7B":
+        return SERIES_ORDER[0]
+    if entry.params_label == "8B":
+        return SERIES_ORDER[1]
+    return SERIES_ORDER[2]
+
+
+@dataclass
+class Figure1Data:
+    """The plotted quantities: per-model method scores + baseline lines."""
+
+    # model -> method -> score
+    points: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+    # series -> native full-instruct score (the horizontal lines)
+    baselines: Dict[str, float] = field(default_factory=dict)
+    # series -> ordered model names
+    series: Dict[str, List[str]] = field(default_factory=dict)
+
+    def score_range(self) -> Tuple[float, float]:
+        values = [
+            v
+            for methods in self.points.values()
+            for v in methods.values()
+            if v is not None
+        ] + list(self.baselines.values())
+        return min(values), max(values)
+
+
+def build_figure1(table: TableOne) -> Figure1Data:
+    """Extract the figure's data from an assembled Table I."""
+    fig = Figure1Data()
+    for entry in zoo_entries():
+        card = table.cards.get(entry.name)
+        if card is None:
+            continue
+        series = _series_of(entry)
+        fig.series.setdefault(series, []).append(entry.name)
+        fig.points[entry.name] = {m: card.score(m) for m in METHODS}
+        if entry.is_native:
+            fi = card.score("full_instruct")
+            if fi is not None:
+                fig.baselines[series] = fi
+    return fig
+
+
+def render_figure1_ascii(fig: Figure1Data, width: int = 60) -> str:
+    """Terminal rendering: one row per model, score axis horizontal."""
+    lo, hi = fig.score_range()
+    lo, hi = lo - 2.0, hi + 2.0
+    span = hi - lo
+
+    def col(score: float) -> int:
+        return int(round((score - lo) / span * (width - 1)))
+
+    lines: List[str] = []
+    lines.append(
+        f"legend: o=full instruct  x=token(instruct)  *=token(base)   "
+        f"|=native full-instruct baseline"
+    )
+    lines.append(f"score axis: {lo:.1f} .. {hi:.1f}")
+    for series in SERIES_ORDER:
+        if series not in fig.series:
+            continue
+        lines.append("")
+        lines.append(f"-- {series} --")
+        base_col = col(fig.baselines[series]) if series in fig.baselines else None
+        for name in fig.series[series]:
+            row = [" "] * width
+            if base_col is not None:
+                row[base_col] = "|"
+            for method, score in fig.points[name].items():
+                if score is None:
+                    continue
+                c = col(score)
+                row[c] = _SYMBOLS[method] if row[c] in (" ", "|") else "+"
+            lines.append(f"{name:<28s} {''.join(row)}")
+    return "\n".join(lines)

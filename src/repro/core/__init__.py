@@ -1,0 +1,50 @@
+"""The paper's contribution, end to end.
+
+* :mod:`repro.core.zoo` — the model registry: micro analogues of every
+  Table-I row (native LLaMA baselines and AstroLLaMA variants), with
+  per-family tokenizer conventions and capability knobs;
+* :mod:`repro.core.pretrain` — streaming base-model pretraining (fresh
+  quiz shuffles every epoch, the infinite-data regime base LLMs live in);
+* :mod:`repro.core.pipeline` — pretrain -> CPT -> SFT -> three-method
+  evaluation for one zoo member;
+* :mod:`repro.core.scorecards` — Table-I assembly with better/worse/similar
+  arrows;
+* :mod:`repro.core.cost` — the Section III GPU-hour accounting.
+"""
+
+from repro.core.zoo import (
+    MICRO_ZOO,
+    FamilySpec,
+    ModelZooEntry,
+    get_entry,
+    zoo_entries,
+)
+from repro.core.pretrain import BasePretrainConfig, BasePretrainer, PretrainedBase
+from repro.core.pipeline import (
+    AstroLLaMAPipeline,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.core.scorecards import ScoreCard, TableOne, Arrow, arrow_for
+from repro.core.cost import CostReport, forecast_full_text_cpt, paper_cost_accounting
+
+__all__ = [
+    "FamilySpec",
+    "ModelZooEntry",
+    "MICRO_ZOO",
+    "zoo_entries",
+    "get_entry",
+    "BasePretrainConfig",
+    "BasePretrainer",
+    "PretrainedBase",
+    "PipelineConfig",
+    "AstroLLaMAPipeline",
+    "PipelineResult",
+    "ScoreCard",
+    "TableOne",
+    "Arrow",
+    "arrow_for",
+    "CostReport",
+    "paper_cost_accounting",
+    "forecast_full_text_cpt",
+]

@@ -1,0 +1,180 @@
+"""Table-I assembly: scores, comparison arrows, rendering."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.zoo import ModelZooEntry, zoo_entries
+
+METHODS = ("full_instruct", "token_instruct", "token_base")
+
+METHOD_LABELS = {
+    "full_instruct": "Full Instruct (%)",
+    "token_instruct": "Token Prediction (Instruct Model) (%)",
+    "token_base": "Token Prediction (Base Model) (%)",
+}
+
+
+class Arrow(enum.Enum):
+    """Better / worse / similar markers from the paper's Table I."""
+
+    UP = "↑"
+    DOWN = "↓"
+    SIMILAR = "⇒"
+    NONE = ""
+
+
+def arrow_for(
+    score: float, baseline: float, similar_band: float = 1.0
+) -> Arrow:
+    """The paper marks AstroLLaMA rows relative to their native baseline."""
+    if abs(score - baseline) <= similar_band:
+        return Arrow.SIMILAR
+    return Arrow.UP if score > baseline else Arrow.DOWN
+
+
+@dataclass
+class ScoreCard:
+    """One model's scores across the three methods (percent)."""
+
+    entry: ModelZooEntry
+    scores: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def score(self, method: str) -> Optional[float]:
+        return self.scores.get(method)
+
+    def paper_score(self, method: str) -> Optional[float]:
+        return {
+            "full_instruct": self.entry.paper_full_instruct,
+            "token_instruct": self.entry.paper_token_instruct,
+            "token_base": self.entry.paper_token_base,
+        }[method]
+
+
+@dataclass
+class TableOne:
+    """The full benchmark grid with arrows relative to native baselines."""
+
+    cards: Dict[str, ScoreCard] = field(default_factory=dict)
+    similar_band: float = 1.0
+
+    def add(self, card: ScoreCard) -> None:
+        self.cards[card.entry.name] = card
+
+    def arrow(self, name: str, method: str) -> Arrow:
+        card = self.cards.get(name)
+        if card is None or card.entry.is_native:
+            return Arrow.NONE
+        base_card = self.cards.get(card.entry.base_name)
+        if base_card is None:
+            return Arrow.NONE
+        score = card.score(method)
+        base = base_card.score(method)
+        if score is None or base is None:
+            return Arrow.NONE
+        return arrow_for(score, base, self.similar_band)
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        out = []
+        for entry in zoo_entries():
+            card = self.cards.get(entry.name)
+            if card is None:
+                continue
+            row: Dict[str, object] = {"model": entry.paper_name}
+            for method in METHODS:
+                score = card.score(method)
+                arrow = self.arrow(entry.name, method)
+                row[method] = score
+                row[f"{method}_arrow"] = arrow.value
+                row[f"{method}_paper"] = card.paper_score(method)
+            row["source"] = entry.source
+            row["reference"] = entry.reference
+            out.append(row)
+        return out
+
+    def render(self, show_paper: bool = True) -> str:
+        """Plain-text Table I."""
+        lines = []
+        header = (
+            f"{'Model':<28s} {'Full Instr':>12s} {'Tok(Instr)':>12s} "
+            f"{'Tok(Base)':>12s}"
+        )
+        if show_paper:
+            header += "   | paper: FI / TI / TB"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows():
+            cells = []
+            for method in METHODS:
+                score = row[method]
+                arrow = row[f"{method}_arrow"]
+                cells.append(
+                    f"{score:10.1f}{arrow or ' ':>2s}" if score is not None else f"{'-':>12s}"
+                )
+            line = f"{row['model']:<28s} {cells[0]} {cells[1]} {cells[2]}"
+            if show_paper:
+                papers = [
+                    f"{row[f'{m}_paper']:.1f}" if row[f"{m}_paper"] is not None else "-"
+                    for m in METHODS
+                ]
+                line += f"   | {papers[0]} / {papers[1]} / {papers[2]}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def shape_checks(self) -> Dict[str, bool]:
+        """The paper's qualitative findings as boolean checks.
+
+        These are the reproduction contract for Table I: orderings and
+        gaps, not absolute values.
+        """
+        def s(name: str, method: str) -> Optional[float]:
+            card = self.cards.get(name)
+            return card.score(method) if card else None
+
+        checks: Dict[str, bool] = {}
+
+        def have(*vals) -> bool:
+            return all(v is not None for v in vals)
+
+        a, b = s("AstroLLaMA-2-7B-AIC", "token_base"), s("LLaMA-2-7B", "token_base")
+        if have(a, b):
+            checks["7b_cpt_degrades_base_token"] = a < b
+        a, b = (
+            s("AstroLLaMA-2-70B-AIC", "token_base"),
+            s("LLaMA-2-70B", "token_base"),
+        )
+        if have(a, b):
+            checks["70b_cpt_improves_base_token"] = a > b
+        a, b = (
+            s("AstroLLaMA-2-70B-AIC", "token_instruct"),
+            s("LLaMA-2-70B", "token_instruct"),
+        )
+        if have(a, b):
+            checks["70b_cpt_improves_instruct_token"] = a > b
+        a, b = (
+            s("AstroLLaMA-3-8B-AIC", "token_base"),
+            s("LLaMA-3-8B", "token_base"),
+        )
+        if have(a, b):
+            checks["8b_aic_roughly_retains_base_token"] = abs(a - b) <= 5.0
+        a, b = (
+            s("AstroLLaMA-3-8B-Summary", "token_base"),
+            s("AstroLLaMA-3-8B-AIC", "token_base"),
+        )
+        if have(a, b):
+            checks["summary_at_least_aic_base_token"] = a >= b - 1.0
+        # SFT drag: full instruct below base-token for every AstroLLaMA row
+        for name in (
+            "AstroLLaMA-2-7B-AIC",
+            "AstroLLaMA-3-8B-AIC",
+            "AstroLLaMA-3-8B-Summary",
+            "AstroLLaMA-2-70B-AIC",
+        ):
+            a, b = s(name, "full_instruct"), s(name, "token_base")
+            if have(a, b):
+                checks[f"sft_drag_{name}"] = a <= b + 1.0
+        return checks

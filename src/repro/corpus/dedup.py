@@ -1,0 +1,135 @@
+"""Near-duplicate detection for corpus cleaning.
+
+Part of the "extensive algorithmic cleaning" the paper's data pipeline
+applied to arXiv sources: the same result text recurs across versions,
+cross-listings, and conference/journal duplicates, and duplicated training
+text skews memorization.  This module implements the standard shingling
+approach:
+
+* :func:`shingles` — word n-gram sets;
+* :func:`jaccard` — exact set similarity;
+* :class:`MinHasher` — fixed-permutation MinHash signatures whose
+  agreement estimates Jaccard similarity in O(num_hashes);
+* :func:`dedupe_documents` — greedy first-wins dedup over a document
+  list, exact or signature-based.
+
+Pure NumPy, vectorized over hash seeds per the HPC guide idioms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+_MERSENNE = np.uint64((1 << 61) - 1)
+
+
+def shingles(text: str, n: int = 3) -> Set[str]:
+    """Word ``n``-grams of ``text`` (the full text if shorter than n)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    words = text.split()
+    if len(words) < n:
+        return {" ".join(words)} if words else set()
+    return {" ".join(words[i : i + n]) for i in range(len(words) - n + 1)}
+
+
+def jaccard(a: Set[str], b: Set[str]) -> float:
+    """Exact Jaccard similarity (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 1.0
+
+
+def _hash_tokens(items: Sequence[str]) -> np.ndarray:
+    """Stable 64-bit hashes of strings (FNV-1a, vectorized finish)."""
+    out = np.empty(len(items), dtype=np.uint64)
+    for i, s in enumerate(items):
+        h = np.uint64(1469598103934665603)
+        for byte in s.encode("utf-8"):
+            h = np.uint64((int(h) ^ byte) * 1099511628211 & 0xFFFFFFFFFFFFFFFF)
+        out[i] = h
+    return out
+
+
+@dataclass
+class MinHasher:
+    """MinHash with ``num_hashes`` universal-hash permutations.
+
+    Signature agreement fraction is an unbiased estimator of Jaccard
+    similarity; 64 hashes give ~0.12 standard error, plenty for a 0.8
+    duplicate threshold.
+    """
+
+    num_hashes: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        # a*x + b mod p universal hashing; a != 0
+        self._a = rng.integers(1, int(_MERSENNE), size=self.num_hashes, dtype=np.uint64)
+        self._b = rng.integers(0, int(_MERSENNE), size=self.num_hashes, dtype=np.uint64)
+
+    def signature(self, shingle_set: Set[str]) -> np.ndarray:
+        """(num_hashes,) uint64 signature; all-max for the empty set."""
+        if not shingle_set:
+            return np.full(self.num_hashes, np.iinfo(np.uint64).max, dtype=np.uint64)
+        hashes = _hash_tokens(sorted(shingle_set))  # (n,)
+        # broadcast: (num_hashes, n) permuted values, min over shingles
+        permuted = (
+            self._a[:, None] * hashes[None, :] + self._b[:, None]
+        ) % _MERSENNE
+        return permuted.min(axis=1)
+
+    @staticmethod
+    def estimate_similarity(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        if sig_a.shape != sig_b.shape:
+            raise ValueError("signature shapes differ")
+        return float(np.mean(sig_a == sig_b))
+
+
+def dedupe_documents(
+    documents: Sequence[str],
+    threshold: float = 0.8,
+    shingle_n: int = 3,
+    hasher: Optional[MinHasher] = None,
+    exact: bool = False,
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """Greedy first-wins near-duplicate removal.
+
+    Returns ``(kept_indices, dropped_pairs)`` where each dropped pair is
+    ``(dropped_index, kept_index_it_duplicated)``.  ``exact=True`` uses
+    true Jaccard (O(n^2) set ops); the default uses MinHash signatures.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    hasher = hasher or MinHasher()
+    kept: List[int] = []
+    dropped: List[Tuple[int, int]] = []
+    kept_shingles: List[Set[str]] = []
+    kept_sigs: List[np.ndarray] = []
+    for i, doc in enumerate(documents):
+        sh = shingles(doc, shingle_n)
+        sig = None if exact else hasher.signature(sh)
+        duplicate_of = None
+        for j, kept_idx in enumerate(kept):
+            if exact:
+                sim = jaccard(sh, kept_shingles[j])
+            else:
+                sim = MinHasher.estimate_similarity(sig, kept_sigs[j])
+            if sim >= threshold:
+                duplicate_of = kept_idx
+                break
+        if duplicate_of is None:
+            kept.append(i)
+            kept_shingles.append(sh)
+            if sig is not None:
+                kept_sigs.append(sig)
+        else:
+            dropped.append((i, duplicate_of))
+    return kept, dropped

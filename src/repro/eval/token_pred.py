@@ -1,0 +1,139 @@
+"""The next-token benchmarking method (Sections V-B / V-C).
+
+Two-shot prompt ending in ``Answer :``; the model's next-token logits are
+restricted to the four answer letters and the argmax is the prediction.
+Temperature is fixed at 0 (argmax) per the paper.
+
+**Dynamic answer-token discovery**: tokenizers differ in whether the letter
+after ``Answer:`` is a bare token (``"A"``) or a space-prefixed one
+(``" A"``).  Following the paper, the correct representation is discovered
+by "examining the top ten tokens in the model's output" on probe prompts:
+whichever convention's candidate ids dominate the top-10 is adopted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.corpus.knowledge import ANSWER_LETTERS
+from repro.eval.prompts import format_next_token_prompt
+from repro.mcq.generation import MCQuestion
+
+
+class CausalLM(Protocol):
+    def next_token_logits(self, tokens: np.ndarray) -> np.ndarray: ...
+
+
+class TokenizerLike(Protocol):
+    def encode(self, text: str, add_bos: bool = ..., add_eos: bool = ...) -> List[int]: ...
+    def answer_token_candidates(self, letter: str) -> Dict[str, int]: ...
+
+
+@dataclass(frozen=True)
+class AnswerTokenMap:
+    """Resolved token id for each answer letter."""
+
+    ids: Dict[str, int]  # letter -> token id
+    convention: str  # "bare" | "space-prefixed"
+
+    def letter_ids(self) -> List[int]:
+        return [self.ids[letter] for letter in ANSWER_LETTERS]
+
+
+def _candidates_by_convention(
+    tokenizer: TokenizerLike,
+) -> Dict[str, Dict[str, int]]:
+    """Candidate letter->id maps per convention, complete conventions only."""
+    conventions: Dict[str, Dict[str, int]] = {}
+    for letter in ANSWER_LETTERS:
+        for name, token_id in tokenizer.answer_token_candidates(letter).items():
+            conventions.setdefault(name, {})[letter] = token_id
+    return {
+        name: mapping
+        for name, mapping in conventions.items()
+        if len(mapping) == len(ANSWER_LETTERS)
+    }
+
+
+def discover_answer_tokens(
+    model: CausalLM,
+    tokenizer: TokenizerLike,
+    probe_questions: Sequence[MCQuestion],
+    few_shot: Sequence[MCQuestion] = (),
+    top_k: int = 10,
+    prefix_ids: Sequence[int] = (),
+) -> AnswerTokenMap:
+    """Pick the letter-token convention the model actually uses.
+
+    For each probe question the top-``top_k`` next-token ids are collected;
+    each complete convention is scored by how often its candidate ids show
+    up.  Ties (or no hits at all) fall back to the convention supported by
+    the vocabulary, preferring bare tokens.
+    """
+    conventions = _candidates_by_convention(tokenizer)
+    if not conventions:
+        raise ValueError("tokenizer exposes no complete answer-letter convention")
+    if len(conventions) == 1:
+        name, mapping = next(iter(conventions.items()))
+        return AnswerTokenMap(mapping, name)
+
+    scores = {name: 0 for name in conventions}
+    for question in probe_questions:
+        prompt = format_next_token_prompt(question, few_shot)
+        tokens = np.asarray(
+            list(prefix_ids) + tokenizer.encode(prompt), dtype=np.int64
+        )
+        logits = model.next_token_logits(tokens)
+        k = min(top_k, logits.shape[-1])
+        top_ids = set(np.argpartition(logits, -k)[-k:].tolist())
+        for name, mapping in conventions.items():
+            scores[name] += sum(1 for tid in mapping.values() if tid in top_ids)
+    best = max(scores.items(), key=lambda kv: (kv[1], kv[0] == "bare"))
+    return AnswerTokenMap(conventions[best[0]], best[0])
+
+
+class TokenPredictionEvaluator:
+    """Evaluate one model on one benchmark with the next-token method."""
+
+    def __init__(
+        self,
+        model: CausalLM,
+        tokenizer: TokenizerLike,
+        few_shot: Sequence[MCQuestion],
+        answer_map: Optional[AnswerTokenMap] = None,
+        n_probe: int = 4,
+        prefix_ids: Sequence[int] = (),
+    ) -> None:
+        """``prefix_ids`` lets callers prepend the document-boundary token
+        the model actually saw during packed training (micro models never
+        see BOS, only EOS separators)."""
+        self.model = model
+        self.tokenizer = tokenizer
+        self.few_shot = list(few_shot)
+        self.prefix_ids = list(prefix_ids)
+        if answer_map is None:
+            probes = self.few_shot or []
+            answer_map = discover_answer_tokens(
+                model,
+                tokenizer,
+                probes[: max(n_probe, 1)],
+                self.few_shot,
+                prefix_ids=self.prefix_ids,
+            )
+        self.answer_map = answer_map
+
+    def predict(self, question: MCQuestion) -> int:
+        """Return the predicted option index (0..3) for one question."""
+        prompt = format_next_token_prompt(question, self.few_shot)
+        tokens = np.asarray(
+            self.prefix_ids + self.tokenizer.encode(prompt), dtype=np.int64
+        )
+        logits = self.model.next_token_logits(tokens)
+        letter_logits = [logits[tid] for tid in self.answer_map.letter_ids()]
+        return int(np.argmax(letter_logits))
+
+    def predict_many(self, questions: Sequence[MCQuestion]) -> List[int]:
+        return [self.predict(q) for q in questions]

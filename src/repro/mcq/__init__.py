@@ -1,0 +1,53 @@
+"""The astronomy MCQ benchmark (the Ting et al. 2024 dataset analogue).
+
+Pipeline mirrors Section IV of the paper:
+
+* :mod:`repro.mcq.araa` — synthetic Annual-Review-style articles: one
+  comprehensive review per (topic, volume), synthesizing that subfield's
+  facts;
+* :mod:`repro.mcq.generation` — the long-context MCQ extractor (the
+  Gemini-1.5-Pro analogue): 5 questions per article, 4 options each,
+  honouring the paper's design principles (standalone questions, equal-
+  length options, consensus knowledge);
+* :mod:`repro.mcq.dataset` — the benchmark container with dev/test splits
+  and (de)serialization;
+* :mod:`repro.mcq.quality` — validators for the design rules.
+
+The default build is 885 articles x 5 questions = 4,425 MCQs, exactly the
+paper's benchmark size.
+"""
+
+from repro.mcq.araa import ReviewArticle, generate_review_articles
+from repro.mcq.generation import MCQExtractor, MCQuestion
+from repro.mcq.dataset import MCQBenchmark, build_benchmark
+from repro.mcq.release import (
+    ScoringServer,
+    export_answer_key,
+    export_public,
+    verify_release_integrity,
+)
+from repro.mcq.quality import (
+    QualityReport,
+    check_option_lengths,
+    check_option_uniqueness,
+    check_letter_balance,
+    validate_benchmark,
+)
+
+__all__ = [
+    "ReviewArticle",
+    "generate_review_articles",
+    "MCQuestion",
+    "MCQExtractor",
+    "MCQBenchmark",
+    "build_benchmark",
+    "ScoringServer",
+    "export_public",
+    "export_answer_key",
+    "verify_release_integrity",
+    "QualityReport",
+    "check_option_lengths",
+    "check_option_uniqueness",
+    "check_letter_balance",
+    "validate_benchmark",
+]

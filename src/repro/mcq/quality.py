@@ -1,0 +1,85 @@
+"""Benchmark quality validators (the paper's MCQ design rules)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.corpus.knowledge import ANSWER_LETTERS
+from repro.mcq.generation import MCQuestion
+
+# phrases a standalone question must never contain (article-dependence)
+_FORBIDDEN = ("this article", "this review", "the figure", "the table", "section")
+
+
+@dataclass
+class QualityReport:
+    """Aggregate validation outcome."""
+
+    n_questions: int
+    option_length_violations: List[int] = field(default_factory=list)
+    duplicate_option_violations: List[int] = field(default_factory=list)
+    dependence_violations: List[int] = field(default_factory=list)
+    letter_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not (
+            self.option_length_violations
+            or self.duplicate_option_violations
+            or self.dependence_violations
+        )
+
+    @property
+    def max_letter_skew(self) -> float:
+        """Deviation of the most common answer letter from uniform (0.25)."""
+        if not self.letter_counts or self.n_questions == 0:
+            return 0.0
+        top = max(self.letter_counts.values())
+        return top / self.n_questions - 0.25
+
+
+def check_option_lengths(q: MCQuestion, tolerance: float = 2.0) -> bool:
+    """Options must be of comparable length (ratio longest/shortest)."""
+    lengths = [max(len(opt.split()), 1) for opt in q.options]
+    return max(lengths) / min(lengths) <= tolerance
+
+
+def check_option_uniqueness(q: MCQuestion) -> bool:
+    return len(set(q.options)) == len(q.options)
+
+
+def check_standalone(q: MCQuestion) -> bool:
+    lowered = q.question.lower()
+    return not any(phrase in lowered for phrase in _FORBIDDEN)
+
+
+def check_letter_balance(
+    questions: Sequence[MCQuestion], max_skew: float = 0.08
+) -> bool:
+    """The correct letter should be near-uniform over A-D."""
+    if not questions:
+        return True
+    counts = np.zeros(4)
+    for q in questions:
+        counts[q.correct_idx] += 1
+    return float(counts.max() / counts.sum() - 0.25) <= max_skew
+
+
+def validate_benchmark(
+    questions: Sequence[MCQuestion], length_tolerance: float = 2.0
+) -> QualityReport:
+    """Run every design-rule check; returns a full report."""
+    report = QualityReport(n_questions=len(questions))
+    for q in questions:
+        if not check_option_lengths(q, length_tolerance):
+            report.option_length_violations.append(q.question_id)
+        if not check_option_uniqueness(q):
+            report.duplicate_option_violations.append(q.question_id)
+        if not check_standalone(q):
+            report.dependence_violations.append(q.question_id)
+        letter = ANSWER_LETTERS[q.correct_idx]
+        report.letter_counts[letter] = report.letter_counts.get(letter, 0) + 1
+    return report

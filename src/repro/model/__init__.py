@@ -1,0 +1,47 @@
+"""Decoder-only transformer language model in pure NumPy.
+
+This package is the reproduction's stand-in for the LLaMA family: a
+from-scratch, fully differentiable (manual backprop) implementation of the
+LLaMA architecture — RoPE causal attention, RMSNorm, SwiGLU — plus the
+training-adjacent machinery the paper relies on (LoRA adapters for the
+original AstroLLaMA recipe, checkpointing, bf16 emulation, KV-cache
+generation for the full-instruct evaluation method).
+
+All hot paths are vectorized over ``(batch, head, position)`` per the HPC
+guide idioms; there are no per-token Python loops in forward or backward.
+"""
+
+from repro.model.config import ModelConfig
+from repro.model.layers import Embedding, LayerNorm, Linear, Module, RMSNorm
+from repro.model.attention import MultiHeadAttention, RotaryEmbedding
+from repro.model.mlp import GeluMLP, SwiGLU
+from repro.model.transformer import TransformerBlock, TransformerLM
+from repro.model.sampling import GenerationConfig, generate, greedy_decode
+from repro.model.checkpoint import load_model, save_model
+from repro.model.lora import LoRAConfig, LoRALinear, apply_lora, merge_lora
+from repro.model.precision import bf16_round
+
+__all__ = [
+    "ModelConfig",
+    "Module",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "LayerNorm",
+    "RotaryEmbedding",
+    "MultiHeadAttention",
+    "SwiGLU",
+    "GeluMLP",
+    "TransformerBlock",
+    "TransformerLM",
+    "GenerationConfig",
+    "generate",
+    "greedy_decode",
+    "save_model",
+    "load_model",
+    "LoRAConfig",
+    "LoRALinear",
+    "apply_lora",
+    "merge_lora",
+    "bf16_round",
+]

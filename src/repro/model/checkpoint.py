@@ -1,0 +1,36 @@
+"""Checkpoint I/O: model config + parameters in a single ``.npz`` + JSON pair."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.transformer import TransformerLM
+
+PathLike = Union[str, Path]
+
+
+def save_model(model: TransformerLM, path: PathLike) -> None:
+    """Save ``model`` under ``path`` (a directory)."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path / "params.npz", **model.named_parameters())
+    (path / "config.json").write_text(
+        json.dumps(model.config.to_dict(), indent=2), encoding="utf-8"
+    )
+
+
+def load_model(path: PathLike) -> TransformerLM:
+    """Load a model saved by :func:`save_model`."""
+    path = Path(path)
+    config = ModelConfig.from_dict(
+        json.loads((path / "config.json").read_text(encoding="utf-8"))
+    )
+    model = TransformerLM(config)
+    with np.load(path / "params.npz") as data:
+        model.load_state({k: data[k] for k in data.files})
+    return model

@@ -1,0 +1,231 @@
+"""The decoder-only transformer language model."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.attention import MultiHeadAttention, RotaryEmbedding
+from repro.model.config import ModelConfig
+from repro.model.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    RMSNorm,
+    log_softmax,
+    softmax,
+)
+from repro.model.mlp import GeluMLP, SwiGLU
+
+KVCache = List[Dict[str, np.ndarray]]
+
+
+def _make_norm(config: ModelConfig) -> Module:
+    if config.norm_type == "rmsnorm":
+        return RMSNorm(config.d_model, config.norm_eps)
+    return LayerNorm(config.d_model, config.norm_eps)
+
+
+class TransformerBlock(Module):
+    """Pre-norm residual block: ``x + attn(norm(x))``, ``x + mlp(norm(x))``."""
+
+    def __init__(
+        self, config: ModelConfig, rope: RotaryEmbedding, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        # GPT-2 trick: scale residual-writing projections by 1/sqrt(2L) so
+        # the residual stream variance stays bounded with depth.
+        out_std = config.init_std / np.sqrt(2.0 * config.n_layers)
+        self.attn_norm = self.add_child("attn_norm", _make_norm(config))
+        self.attn = self.add_child(
+            "attn",
+            MultiHeadAttention(
+                config.d_model,
+                config.n_heads,
+                rope,
+                rng,
+                init_std=config.init_std,
+                out_init_std=out_std,
+            ),
+        )
+        self.mlp_norm = self.add_child("mlp_norm", _make_norm(config))
+        mlp_cls = SwiGLU if config.activation == "swiglu" else GeluMLP
+        self.mlp = self.add_child(
+            "mlp",
+            mlp_cls(
+                config.d_model,
+                config.d_ff,
+                rng,
+                init_std=config.init_std,
+                out_init_std=out_std,
+            ),
+        )
+
+    def forward(
+        self,
+        x: np.ndarray,
+        start_pos: int = 0,
+        cache: Optional[Dict[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        x = x + self.attn.forward(self.attn_norm.forward(x), start_pos, cache)
+        x = x + self.mlp.forward(self.mlp_norm.forward(x))
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        d_mlp = self.mlp_norm.backward(self.mlp.backward(dout))
+        dout = dout + d_mlp
+        d_attn = self.attn_norm.backward(self.attn.backward(dout))
+        return dout + d_attn
+
+
+class TransformerLM(Module):
+    """LLaMA-style causal language model with manual backprop.
+
+    Usage for training::
+
+        logits = model.forward(tokens)
+        loss, dlogits = model.cross_entropy(logits, targets, mask)
+        model.backward(dlogits)      # accumulates into model grads
+
+    Usage for incremental decoding::
+
+        cache = model.new_cache()
+        logits = model.forward(prompt, cache=cache)          # prefill
+        logits = model.forward(next_tok, start_pos=t, cache=cache)  # step
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.rope = RotaryEmbedding(
+            config.head_dim, config.max_seq_len, config.rope_theta
+        )
+        self.embed = self.add_child(
+            "embed", Embedding(config.vocab_size, config.d_model, rng, config.init_std)
+        )
+        self.blocks: List[TransformerBlock] = []
+        for i in range(config.n_layers):
+            block = TransformerBlock(config, self.rope, rng)
+            self.add_child(f"block{i}", block)
+            self.blocks.append(block)
+        self.final_norm = self.add_child("final_norm", _make_norm(config))
+        self.lm_head: Optional[Linear] = None
+        if not config.tie_embeddings:
+            self.lm_head = self.add_child(
+                "lm_head",
+                Linear(config.d_model, config.vocab_size, rng, init_std=config.init_std),
+            )
+
+    # ------------------------------------------------------------------
+    def new_cache(self) -> KVCache:
+        return [dict() for _ in self.blocks]
+
+    def forward(
+        self,
+        tokens: np.ndarray,
+        start_pos: int = 0,
+        cache: Optional[KVCache] = None,
+    ) -> np.ndarray:
+        """Compute logits of shape ``(B, T, vocab)``.
+
+        ``tokens`` is ``(B, T)`` int array.  When ``cache`` is given the
+        forward is incremental (no training cache is kept).
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        x = self.embed.forward(tokens)
+        for i, block in enumerate(self.blocks):
+            layer_cache = cache[i] if cache is not None else None
+            x = block.forward(x, start_pos, layer_cache)
+        x = self.final_norm.forward(x)
+        if self.lm_head is not None:
+            logits = self.lm_head.forward(x)
+        else:
+            logits = x @ self.embed.params["weight"].T
+            self._tied_cache = x
+        return logits
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        """Backpropagate from logits gradient; accumulates parameter grads."""
+        if self.lm_head is not None:
+            dx = self.lm_head.backward(dlogits)
+        else:
+            W = self.embed.params["weight"]
+            x = self._tied_cache
+            self.embed.grads["weight"] += (
+                dlogits.reshape(-1, dlogits.shape[-1]).T
+                @ x.reshape(-1, x.shape[-1])
+            )
+            dx = dlogits @ W
+        dx = self.final_norm.backward(dx)
+        for block in reversed(self.blocks):
+            dx = block.backward(dx)
+        self.embed.backward(dx)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cross_entropy(
+        logits: np.ndarray,
+        targets: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Mean masked token cross-entropy and its gradient w.r.t. logits.
+
+        ``mask`` (same shape as ``targets``) zeroes positions that should not
+        contribute (padding, or prompt positions during SFT).  The returned
+        gradient is already divided by the number of active positions, so a
+        subsequent :meth:`backward` yields mean-loss gradients.
+        """
+        targets = np.asarray(targets)
+        if targets.ndim == 1:
+            targets = targets[None, :]
+        B, T, V = logits.shape
+        logp = log_softmax(logits, axis=-1)
+        flat_logp = logp.reshape(-1, V)
+        flat_t = targets.reshape(-1)
+        picked = flat_logp[np.arange(flat_t.size), flat_t]
+        if mask is None:
+            mask_flat = np.ones_like(flat_t, dtype=np.float32)
+        else:
+            mask_flat = np.asarray(mask, dtype=np.float32).reshape(-1)
+        denom = max(float(mask_flat.sum()), 1.0)
+        loss = -float((picked * mask_flat).sum()) / denom
+
+        probs = softmax(logits, axis=-1).reshape(-1, V)
+        probs[np.arange(flat_t.size), flat_t] -= 1.0
+        probs *= (mask_flat / denom)[:, None]
+        return loss, probs.reshape(B, T, V)
+
+    def loss_and_backward(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> float:
+        """One fused training step helper: forward, CE loss, backward."""
+        logits = self.forward(tokens)
+        loss, dlogits = self.cross_entropy(logits, targets, mask)
+        self.backward(dlogits)
+        return loss
+
+    def perplexity(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> float:
+        logits = self.forward(tokens)
+        loss, _ = self.cross_entropy(logits, targets, mask)
+        return float(np.exp(min(loss, 30.0)))
+
+    def next_token_logits(self, tokens: np.ndarray) -> np.ndarray:
+        """Logits for the token following a single prompt (shape ``(vocab,)``)."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        logits = self.forward(tokens)
+        return logits[0, -1]

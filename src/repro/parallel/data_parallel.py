@@ -1,0 +1,181 @@
+"""Data-parallel (DDP) training over simulated ranks.
+
+Each rank holds a full model replica; every global batch is split into
+per-rank shards, each replica computes gradients on its shard, gradients
+are averaged with an all-reduce, and each replica applies the identical
+optimizer step.  The implementation preserves DDP's defining invariant —
+**replicas never diverge** — which the test suite asserts bit-exactly.
+
+Because the host is single-core, replicas execute sequentially; the
+communicator's cost model supplies the timing a real cluster would see,
+from which the scaling benchmarks compute parallel efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.transformer import TransformerLM
+from repro.parallel.collectives import Communicator, RingCostModel
+from repro.parallel.mesh import DeviceMesh
+from repro.train.optimizer import AdamW, clip_grad_norm
+from repro.train.schedule import make_schedule
+
+
+@dataclass
+class DDPConfig:
+    learning_rate: float = 1e-3
+    total_steps: int = 10
+    warmup_ratio: float = 0.03
+    schedule: str = "cosine"
+    clip_norm: float = 1.0
+    weight_decay: float = 0.0
+    betas: Tuple[float, float] = (0.9, 0.95)
+    # Simulated per-rank compute throughput used for the timing model
+    # (seconds per token of forward+backward); calibrated per GPU spec.
+    seconds_per_token: float = 1e-6
+
+
+@dataclass
+class DDPResult:
+    losses: List[float] = field(default_factory=list)
+    steps: int = 0
+    simulated_compute_seconds: float = 0.0
+    simulated_comm_seconds: float = 0.0
+
+    @property
+    def simulated_total_seconds(self) -> float:
+        return self.simulated_compute_seconds + self.simulated_comm_seconds
+
+    def parallel_efficiency(self, serial_seconds: float, world_size: int) -> float:
+        """Speedup / world_size against a serial baseline time."""
+        if self.simulated_total_seconds <= 0:
+            return 1.0
+        speedup = serial_seconds / self.simulated_total_seconds
+        return speedup / world_size
+
+
+class DataParallelTrainer:
+    """Synchronous DDP across all ranks of a mesh."""
+
+    def __init__(
+        self,
+        mesh: DeviceMesh,
+        model_config: ModelConfig,
+        config: Optional[DDPConfig] = None,
+        cost_model: Optional[RingCostModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.mesh = mesh
+        self.config = config or DDPConfig()
+        self.comm = Communicator(mesh, cost_model=cost_model)
+        # All replicas start from the same initialization — equivalent to
+        # rank-0 init + broadcast, which is how real DDP bootstraps.
+        self.replicas = [
+            TransformerLM(model_config, seed=seed) for _ in range(mesh.world_size)
+        ]
+        init = self.replicas[0].state_copy()
+        for replica in self.replicas[1:]:
+            replica.load_state(init)
+        self.optimizers = [
+            AdamW(
+                r.named_parameters(),
+                r.named_gradients(),
+                betas=self.config.betas,
+                weight_decay=self.config.weight_decay,
+            )
+            for r in self.replicas
+        ]
+        self.schedule = make_schedule(
+            self.config.schedule,
+            self.config.learning_rate,
+            self.config.total_steps,
+            self.config.warmup_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    def shard_batch(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Split a global batch into one contiguous shard per rank."""
+        world = self.mesh.world_size
+        if inputs.shape[0] % world != 0:
+            raise ValueError(
+                f"global batch {inputs.shape[0]} not divisible by world size {world}"
+            )
+        return [
+            (shard_in, shard_t)
+            for shard_in, shard_t in zip(
+                np.split(inputs, world), np.split(targets, world)
+            )
+        ]
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One synchronous DDP step on a global batch; returns mean loss."""
+        cfg = self.config
+        shards = self.shard_batch(inputs, targets)
+        losses = []
+        flat_grads: List[np.ndarray] = []
+        for replica, (x, t) in zip(self.replicas, shards):
+            replica.zero_grad()
+            losses.append(replica.loss_and_backward(x, t))
+            grads = replica.named_gradients()
+            flat_grads.append(
+                np.concatenate([g.reshape(-1) for g in grads.values()])
+            )
+        reduced = self.comm.all_reduce(flat_grads, op="mean")
+        step_idx = self.optimizers[0].step_count
+        lr = self.schedule.lr(step_idx)
+        for replica, optimizer, flat in zip(self.replicas, self.optimizers, reduced):
+            grads = replica.named_gradients()
+            offset = 0
+            for g in grads.values():
+                g[...] = flat[offset : offset + g.size].reshape(g.shape)
+                offset += g.size
+            clip_grad_norm(grads, cfg.clip_norm)
+            optimizer.step(lr)
+        return float(np.mean(losses))
+
+    def train(
+        self, batches: Iterable[Tuple[np.ndarray, np.ndarray]]
+    ) -> DDPResult:
+        """Run up to ``total_steps`` global-batch steps."""
+        cfg = self.config
+        result = DDPResult()
+        comm_before = self.comm.stats.simulated_seconds
+        for step, (inputs, targets) in enumerate(batches):
+            if step >= cfg.total_steps:
+                break
+            loss = self.train_step(inputs, targets)
+            result.losses.append(loss)
+            result.steps += 1
+            # per-rank compute: a rank processes batch/world tokens; ranks
+            # run concurrently so wall time is one shard's time.
+            shard_tokens = inputs.size / self.mesh.world_size
+            result.simulated_compute_seconds += (
+                shard_tokens * cfg.seconds_per_token
+            )
+        result.simulated_comm_seconds = (
+            self.comm.stats.simulated_seconds - comm_before
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def replicas_in_sync(self) -> bool:
+        """DDP invariant: all replicas hold bit-identical parameters."""
+        ref = self.replicas[0].named_parameters()
+        for replica in self.replicas[1:]:
+            other = replica.named_parameters()
+            for key, arr in ref.items():
+                if not np.array_equal(arr, other[key]):
+                    return False
+        return True
+
+    @property
+    def model(self) -> TransformerLM:
+        """The rank-0 replica (canonical model after training)."""
+        return self.replicas[0]

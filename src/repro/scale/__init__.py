@@ -1,0 +1,45 @@
+"""The scale surrogate: Table-I numbers without the GPU cluster.
+
+The micro zoo demonstrates the paper's *mechanisms* with real training; it
+cannot land on the paper's *absolute* scores (those require 7-70B models).
+This package provides the documented substitution: an analytic
+knowledge/forgetting/instruction model whose parameters are calibrated to
+Table I, used by the headline benchmark to regenerate the full table and
+figure, and by ablation benches to extrapolate (what if the SFT set were
+astronomy-focused? what if CPT used more tokens?).
+
+* :mod:`repro.scale.surrogate` — the mechanism model;
+* :mod:`repro.scale.calibration` — the fitted parameter set + paper targets;
+* :mod:`repro.scale.tradeoff` — the Ting-et-al score/cost frontier
+  (+3.5 points ~= 10x cost-efficiency) and flagship comparisons.
+"""
+
+from repro.scale.surrogate import (
+    MechanismParams,
+    SurrogateModel,
+    SurrogateScores,
+)
+from repro.scale.calibration import (
+    CALIBRATED_PARAMS,
+    PAPER_TABLE_ONE,
+    calibration_error,
+)
+from repro.scale.tradeoff import (
+    FLAGSHIP_SCORES,
+    ScorePriceFrontier,
+    cost_ratio_for_points,
+    points_for_cost_ratio,
+)
+
+__all__ = [
+    "MechanismParams",
+    "SurrogateModel",
+    "SurrogateScores",
+    "CALIBRATED_PARAMS",
+    "PAPER_TABLE_ONE",
+    "calibration_error",
+    "ScorePriceFrontier",
+    "FLAGSHIP_SCORES",
+    "cost_ratio_for_points",
+    "points_for_cost_ratio",
+]

@@ -1,0 +1,33 @@
+"""SFT conversation datasets.
+
+Reproduces the paper's SFT mixture (Section III): 10,356 astronomy-centred
+conversations generated from arXiv abstracts by GPT-4, the full LIMA set,
+10,000 Open Orca samples and 10,000 UltraChat samples — "not highly tuned
+to astronomy Q&A, with only one-third of the samples being astronomy-
+focused", which is precisely the deficiency the paper's results expose.
+
+Each generator is an analogue producing the same *distributional role*:
+
+* :mod:`repro.sft_data.conversations` — astronomy Q&A derived from paper
+  abstracts (the GPT-4 generation stand-in);
+* :mod:`repro.sft_data.lima` — small, curated, long-form general answers;
+* :mod:`repro.sft_data.openorca` — reasoning-trace style general Q&A;
+* :mod:`repro.sft_data.ultrachat` — conversational chitchat;
+* :mod:`repro.sft_data.mixer` — the paper-ratio mixture assembler.
+"""
+
+from repro.sft_data.conversations import AstroQAGenerator
+from repro.sft_data.lima import LimaGenerator
+from repro.sft_data.openorca import OpenOrcaGenerator
+from repro.sft_data.ultrachat import UltraChatGenerator
+from repro.sft_data.mixer import SFTMixture, MixtureSpec, build_paper_mixture
+
+__all__ = [
+    "AstroQAGenerator",
+    "LimaGenerator",
+    "OpenOrcaGenerator",
+    "UltraChatGenerator",
+    "SFTMixture",
+    "MixtureSpec",
+    "build_paper_mixture",
+]

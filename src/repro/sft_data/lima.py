@@ -1,0 +1,59 @@
+"""LIMA analogue: a small, curated set of long-form general conversations.
+
+LIMA (Zhou et al. 2024) is ~1,000 carefully written prompts with thorough
+answers; the analogue produces long multi-sentence answers about the
+general knowledge world so the set plays the same role in the mixture:
+high-quality, general-domain, zero astronomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.corpus.knowledge import KnowledgeBase
+from repro.train.sft import SFTExample
+from repro.utils.rng import new_rng
+
+_LEAD_INS = (
+    "that is a great question .",
+    "happy to explain .",
+    "here is what is known .",
+    "let us go through this carefully .",
+)
+
+_CLOSERS = (
+    "i hope this gives a clear picture .",
+    "let me know if you would like more detail .",
+    "this is the current understanding .",
+    "further reading is available in regional surveys .",
+)
+
+
+@dataclass
+class LimaGenerator:
+    """Curated long-form general Q&A."""
+
+    knowledge: KnowledgeBase
+    seed: int = 0
+
+    def generate(self, n_samples: int = 1000) -> List[SFTExample]:
+        rng = new_rng(self.seed, "lima")
+        out: List[SFTExample] = []
+        facts = self.knowledge.facts
+        if not facts:
+            raise ValueError("general knowledge base is empty")
+        for k in range(n_samples):
+            fact = facts[int(rng.integers(0, len(facts)))]
+            extra = facts[int(rng.integers(0, len(facts)))]
+            user = f"could you tell me about {fact.subject} ?"
+            assistant = " ".join(
+                [
+                    _LEAD_INS[int(rng.integers(0, len(_LEAD_INS)))],
+                    fact.statement(int(rng.integers(0, 4))),
+                    extra.statement(int(rng.integers(0, 4))),
+                    _CLOSERS[int(rng.integers(0, len(_CLOSERS)))],
+                ]
+            )
+            out.append(SFTExample(user=user, assistant=assistant, source="lima"))
+        return out

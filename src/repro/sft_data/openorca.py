@@ -1,0 +1,55 @@
+"""Open Orca analogue: reasoning-trace style general Q&A.
+
+Open Orca samples are FLAN-style tasks answered with step-by-step
+explanations; the analogue asks comparison/derivation questions over the
+general world and answers with explicit chained reasoning, including the
+MCQ form so the instruct model keeps *some* exposure to quiz formats —
+just not astronomy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.corpus.knowledge import ANSWER_LETTERS, KnowledgeBase
+from repro.train.sft import SFTExample
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class OpenOrcaGenerator:
+    """Step-by-step general reasoning conversations."""
+
+    knowledge: KnowledgeBase
+    seed: int = 0
+    mcq_fraction: float = 0.3  # fraction realized as multiple choice
+
+    def generate(self, n_samples: int = 10000) -> List[SFTExample]:
+        rng = new_rng(self.seed, "open-orca")
+        facts = self.knowledge.facts
+        if not facts:
+            raise ValueError("general knowledge base is empty")
+        out: List[SFTExample] = []
+        for k in range(n_samples):
+            fact = facts[int(rng.integers(0, len(facts)))]
+            if rng.random() < self.mcq_fraction:
+                options, correct_idx = fact.option_values_shuffled(rng)
+                lines = [f"Question : {fact.question()}"]
+                for letter, value in zip(ANSWER_LETTERS, options):
+                    lines.append(f"{letter} : {value}")
+                user = "\n".join(lines)
+                assistant = (
+                    f"let us think step by step . "
+                    f"{fact.statement(int(rng.integers(0, 4)))} "
+                    f"therefore the answer is {ANSWER_LETTERS[correct_idx]} ."
+                )
+            else:
+                user = fact.question()
+                assistant = (
+                    f"let us think step by step . the question asks about "
+                    f"{fact.subject} . {fact.statement(int(rng.integers(0, 4)))} "
+                    f"so the value is {fact.correct} ."
+                )
+            out.append(SFTExample(user=user, assistant=assistant, source="open-orca"))
+        return out

@@ -1,0 +1,68 @@
+"""UltraChat analogue: broad conversational chitchat.
+
+UltraChat is large-scale synthetic dialogue about everyday topics; the
+analogue generates short conversations with generic, knowledge-light answers.
+This is the mixture component that pulls an instruct model hardest toward
+"general answers" — the drift the paper blames for full-instruct
+degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.train.sft import SFTExample
+from repro.utils.rng import new_rng
+
+_TOPICS = (
+    "planning a trip along the coast",
+    "learning to bake bread at home",
+    "keeping a small garden in the city",
+    "choosing a musical instrument to learn",
+    "organizing a neighborhood book club",
+    "training for a long distance walk",
+    "repairing an old wooden chair",
+    "writing letters to distant friends",
+    "keeping notes for a personal journal",
+    "preparing a simple evening meal",
+)
+
+_OPENERS = (
+    "there are many ways to approach this .",
+    "it depends on what you enjoy most .",
+    "a good starting point is to keep things simple .",
+    "most people find it helpful to begin slowly .",
+)
+
+_ADVICE = (
+    "start with small steps and build a routine",
+    "ask friends or neighbors for their experience",
+    "keep track of what works and adjust as you go",
+    "set aside a regular time each week",
+    "do not worry about making everything perfect",
+    "focus on enjoying the process rather than the outcome",
+)
+
+
+@dataclass
+class UltraChatGenerator:
+    """Everyday conversational data with deliberately generic answers."""
+
+    seed: int = 0
+
+    def generate(self, n_samples: int = 10000) -> List[SFTExample]:
+        rng = new_rng(self.seed, "ultrachat")
+        out: List[SFTExample] = []
+        for k in range(n_samples):
+            topic = _TOPICS[int(rng.integers(0, len(_TOPICS)))]
+            user = f"do you have any advice about {topic} ?"
+            assistant = " ".join(
+                [
+                    _OPENERS[int(rng.integers(0, len(_OPENERS)))],
+                    _ADVICE[int(rng.integers(0, len(_ADVICE)))] + " .",
+                    _ADVICE[int(rng.integers(0, len(_ADVICE)))] + " .",
+                ]
+            )
+            out.append(SFTExample(user=user, assistant=assistant, source="ultrachat"))
+        return out

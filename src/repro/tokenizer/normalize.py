@@ -1,0 +1,37 @@
+"""Text normalization applied before tokenization."""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from dataclasses import dataclass
+
+_WS_RE = re.compile(r"\s+")
+_CONTROL_RE = re.compile(r"[\x00-\x08\x0b\x0c\x0e-\x1f\x7f]")
+
+
+@dataclass(frozen=True)
+class TextNormalizer:
+    """Configurable normalizer.
+
+    ``lowercase`` folds case (the micro zoo uses this to shrink the word
+    vocabulary); ``collapse_whitespace`` maps all whitespace runs to single
+    spaces; ``strip_control`` removes C0 control characters that the OCR
+    noise model can inject.
+    """
+
+    lowercase: bool = False
+    collapse_whitespace: bool = True
+    strip_control: bool = True
+    nfc: bool = True
+
+    def __call__(self, text: str) -> str:
+        if self.nfc:
+            text = unicodedata.normalize("NFC", text)
+        if self.strip_control:
+            text = _CONTROL_RE.sub(" ", text)
+        if self.lowercase:
+            text = text.lower()
+        if self.collapse_whitespace:
+            text = _WS_RE.sub(" ", text).strip()
+        return text

@@ -1,0 +1,67 @@
+"""Training framework — the reproduction's LMFlow analogue.
+
+Provides the two-stage recipe from the paper (Section III):
+
+* :mod:`repro.train.cpt` — continual pretraining on a domain corpus
+  (next-token objective over packed documents);
+* :mod:`repro.train.sft` — supervised fine-tuning on conversations
+  (next-token objective with the prompt positions masked out of the loss).
+
+Both drivers share the :class:`~repro.train.trainer.Trainer` engine, which
+implements the optimizer step loop with warmup + cosine decay, gradient
+accumulation, global-norm clipping and bf16 parameter rounding — the same
+knobs the paper reports (lr 2e-5 / 3e-7, warmup ratio 0.03, cosine decay,
+bf16, one epoch).
+"""
+
+from repro.train.optimizer import SGD, AdamW, Optimizer, clip_grad_norm
+from repro.train.schedule import (
+    ConstantSchedule,
+    CosineSchedule,
+    LinearSchedule,
+    make_schedule,
+)
+from repro.train.dataloader import (
+    PackedDataset,
+    PaddedBatch,
+    pack_documents,
+    pad_examples,
+)
+from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.train.cpt import ContinualPretrainer, CPTConfig, CPTResult
+from repro.train.sft import (
+    ChatTemplate,
+    SFTConfig,
+    SFTExample,
+    SFTResult,
+    SupervisedFineTuner,
+)
+from repro.train.metrics import corpus_perplexity, ema
+
+__all__ = [
+    "Optimizer",
+    "AdamW",
+    "SGD",
+    "clip_grad_norm",
+    "CosineSchedule",
+    "LinearSchedule",
+    "ConstantSchedule",
+    "make_schedule",
+    "PackedDataset",
+    "PaddedBatch",
+    "pack_documents",
+    "pad_examples",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "ContinualPretrainer",
+    "CPTConfig",
+    "CPTResult",
+    "ChatTemplate",
+    "SFTExample",
+    "SFTConfig",
+    "SFTResult",
+    "SupervisedFineTuner",
+    "corpus_perplexity",
+    "ema",
+]

@@ -1,0 +1,45 @@
+"""Atomic file I/O helpers for checkpoints and dataset artifacts."""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, Path]
+
+
+def _atomic_write(path: PathLike, data: bytes) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write text to ``path`` atomically (write-temp + rename)."""
+    _atomic_write(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: PathLike, obj: Any, *, indent: int = 2) -> None:
+    """Serialize ``obj`` as JSON and write it atomically."""
+    atomic_write_text(path, json.dumps(obj, indent=indent, sort_keys=True))
+
+
+def read_text(path: PathLike) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def read_json(path: PathLike) -> Any:
+    return json.loads(read_text(path))

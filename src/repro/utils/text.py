@@ -1,0 +1,43 @@
+"""Small text helpers shared by corpus generation and evaluation parsing."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and strip the ends."""
+    return _WS_RE.sub(" ", text).strip()
+
+
+def word_count(text: str) -> int:
+    """Count whitespace-delimited words."""
+    stripped = text.strip()
+    if not stripped:
+        return 0
+    return len(_WS_RE.split(stripped))
+
+
+def sentence_join(sentences: Iterable[str]) -> str:
+    """Join sentences with single spaces, ensuring terminal punctuation."""
+    parts: List[str] = []
+    for sentence in sentences:
+        s = sentence.strip()
+        if not s:
+            continue
+        if s[-1] not in ".!?":
+            s += "."
+        parts.append(s)
+    return " ".join(parts)
+
+
+def truncate_tokens(tokens: List[int], max_len: int) -> List[int]:
+    """Truncate a token list to at most ``max_len`` items (no-op if shorter)."""
+    if max_len < 0:
+        raise ValueError(f"max_len must be >= 0, got {max_len}")
+    if len(tokens) <= max_len:
+        return tokens
+    return tokens[:max_len]

@@ -1,0 +1,101 @@
+"""Resume-exactness tests for training-state checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelConfig, TransformerLM
+from repro.train import AdamW, Trainer, TrainingConfig
+from repro.train.checkpointing import load_training_state, save_training_state
+
+
+def make_model(seed=0):
+    return TransformerLM(
+        ModelConfig(vocab_size=32, d_model=16, n_layers=1, n_heads=2, max_seq_len=16),
+        seed=seed,
+    )
+
+
+def batches(n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        x = rng.integers(1, 32, size=(4, 8))
+        out.append((x, np.roll(x, -1, axis=1), None))
+    return out
+
+
+def run_steps(model, optimizer, batch_list, lr=1e-3):
+    from repro.train.optimizer import clip_grad_norm
+
+    for x, t, _ in batch_list:
+        model.zero_grad()
+        model.loss_and_backward(x, t)
+        clip_grad_norm(model.named_gradients(), 1.0)
+        optimizer.step(lr)
+
+
+class TestResumeExactness:
+    def test_resumed_run_bit_identical(self, tmp_path):
+        all_batches = batches(10)
+
+        # uninterrupted run
+        m_full = make_model(seed=1)
+        opt_full = AdamW(m_full.named_parameters(), m_full.named_gradients())
+        run_steps(m_full, opt_full, all_batches)
+
+        # interrupted at step 5, checkpointed, resumed in fresh objects
+        m_a = make_model(seed=1)
+        opt_a = AdamW(m_a.named_parameters(), m_a.named_gradients())
+        run_steps(m_a, opt_a, all_batches[:5])
+        save_training_state(tmp_path / "ckpt", m_a, opt_a, step=5, extra={"note": "x"})
+
+        m_b = make_model(seed=99)  # different init: must be overwritten
+        opt_b = AdamW(m_b.named_parameters(), m_b.named_gradients())
+        meta = load_training_state(tmp_path / "ckpt", m_b, opt_b)
+        assert meta["step"] == 5
+        assert meta["extra"] == {"note": "x"}
+        run_steps(m_b, opt_b, all_batches[5:])
+
+        full = m_full.named_parameters()
+        resumed = m_b.named_parameters()
+        for key in full:
+            np.testing.assert_array_equal(full[key], resumed[key])
+
+    def test_optimizer_moments_restored(self, tmp_path):
+        m = make_model()
+        opt = AdamW(m.named_parameters(), m.named_gradients())
+        run_steps(m, opt, batches(3))
+        save_training_state(tmp_path / "c", m, opt, step=3)
+
+        m2 = make_model(seed=7)
+        opt2 = AdamW(m2.named_parameters(), m2.named_gradients())
+        load_training_state(tmp_path / "c", m2, opt2)
+        assert opt2.step_count == opt.step_count
+        for key in opt.m:
+            np.testing.assert_array_equal(opt.m[key], opt2.m[key])
+            np.testing.assert_array_equal(opt.v[key], opt2.v[key])
+
+    def test_mismatched_model_rejected(self, tmp_path):
+        m = make_model()
+        opt = AdamW(m.named_parameters(), m.named_gradients())
+        save_training_state(tmp_path / "c", m, opt, step=0)
+
+        other = TransformerLM(
+            ModelConfig(vocab_size=32, d_model=16, n_layers=2, n_heads=2, max_seq_len=16)
+        )
+        opt_other = AdamW(other.named_parameters(), other.named_gradients())
+        with pytest.raises(KeyError):
+            load_training_state(tmp_path / "c", other, opt_other)
+
+    def test_format_version_checked(self, tmp_path):
+        import json
+
+        m = make_model()
+        opt = AdamW(m.named_parameters(), m.named_gradients())
+        save_training_state(tmp_path / "c", m, opt, step=0)
+        meta_path = tmp_path / "c" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_training_state(tmp_path / "c", m, opt)

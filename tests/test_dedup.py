@@ -1,0 +1,124 @@
+"""Corpus dedup tests: shingles, Jaccard, MinHash estimator, greedy dedup."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.dedup import (
+    MinHasher,
+    dedupe_documents,
+    jaccard,
+    shingles,
+)
+
+
+class TestShingles:
+    def test_basic(self):
+        s = shingles("a b c d", n=3)
+        assert s == {"a b c", "b c d"}
+
+    def test_short_text(self):
+        assert shingles("a b", n=3) == {"a b"}
+        assert shingles("", n=3) == set()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            shingles("a b", n=0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+
+class TestMinHash:
+    def test_identical_sets_identical_signatures(self):
+        h = MinHasher(num_hashes=32, seed=1)
+        s = shingles("the star is very bright tonight indeed", 3)
+        np.testing.assert_array_equal(h.signature(s), h.signature(set(s)))
+
+    def test_estimator_tracks_jaccard(self):
+        h = MinHasher(num_hashes=256, seed=2)
+        a = {f"tok{i}" for i in range(100)}
+        b = {f"tok{i}" for i in range(50, 150)}  # true jaccard = 50/150
+        est = MinHasher.estimate_similarity(h.signature(a), h.signature(b))
+        assert est == pytest.approx(jaccard(a, b), abs=0.12)
+
+    def test_disjoint_sets_low_similarity(self):
+        h = MinHasher(num_hashes=128, seed=3)
+        a = {f"a{i}" for i in range(50)}
+        b = {f"b{i}" for i in range(50)}
+        assert MinHasher.estimate_similarity(h.signature(a), h.signature(b)) < 0.2
+
+    def test_empty_set_signature(self):
+        h = MinHasher(num_hashes=8)
+        sig = h.signature(set())
+        assert (sig == np.iinfo(np.uint64).max).all()
+
+    def test_shape_mismatch(self):
+        h8, h16 = MinHasher(num_hashes=8), MinHasher(num_hashes=16)
+        s = {"x y z"}
+        with pytest.raises(ValueError):
+            MinHasher.estimate_similarity(h8.signature(s), h16.signature(s))
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=0)
+
+    @given(st.sets(st.text("abcdef", min_size=1, max_size=6), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_one(self, items):
+        h = MinHasher(num_hashes=16, seed=5)
+        sig = h.signature(items)
+        assert MinHasher.estimate_similarity(sig, sig) == 1.0
+
+
+class TestDedupe:
+    DOCS = [
+        "the galaxy rotation curve is flat in the outer regions of the disk",
+        "the galaxy rotation curve is flat in the outer regions of the disc",  # near-dup
+        "planet formation proceeds through core accretion in most systems",
+        "the galaxy rotation curve is flat in the outer regions of the disk",  # exact dup
+    ]
+
+    def test_exact_mode(self):
+        kept, dropped = dedupe_documents(self.DOCS, threshold=0.7, exact=True)
+        assert 0 in kept and 2 in kept
+        assert 3 not in kept
+        dropped_idx = [d for d, _ in dropped]
+        assert 3 in dropped_idx
+
+    def test_minhash_mode_catches_exact_dup(self):
+        kept, dropped = dedupe_documents(self.DOCS, threshold=0.95)
+        assert 3 not in kept
+        assert (3, 0) in dropped
+
+    def test_all_unique_nothing_dropped(self):
+        docs = ["alpha beta gamma delta", "one two three four", "red green blue white"]
+        kept, dropped = dedupe_documents(docs, threshold=0.8)
+        assert kept == [0, 1, 2]
+        assert dropped == []
+
+    def test_dropped_points_at_kept(self):
+        kept, dropped = dedupe_documents(self.DOCS, threshold=0.7, exact=True)
+        for d, k in dropped:
+            assert k in kept
+            assert d not in kept
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            dedupe_documents(["a"], threshold=0.0)
+
+    def test_empty_input(self):
+        kept, dropped = dedupe_documents([])
+        assert kept == [] and dropped == []

@@ -1,0 +1,226 @@
+"""Evaluation-method tests using controllable fake models.
+
+The fake model lets us verify the paper's Section V machinery exactly:
+dynamic answer-token discovery (top-10 scan), letter-logit argmax, the
+full-instruct generate-and-parse loop, and the batch runner — without any
+training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus import make_astro_knowledge
+from repro.eval import (
+    EvaluationRunner,
+    FullInstructEvaluator,
+    TokenPredictionEvaluator,
+    discover_answer_tokens,
+)
+from repro.eval.prompts import (
+    format_micro_chat_prompt,
+    format_next_token_prompt,
+    format_paper_full_instruct,
+)
+from repro.mcq import build_benchmark
+from repro.model import ModelConfig, TransformerLM
+from repro.tokenizer import WordTokenizer
+
+
+@pytest.fixture(scope="module")
+def astro():
+    return make_astro_knowledge(n_facts=160, seed=11)
+
+
+@pytest.fixture(scope="module")
+def bench(astro):
+    return build_benchmark(astro, n_articles=8, facts_per_article=6, dev_size=4, seed=12)
+
+
+def make_tokenizer(astro, space_prefix):
+    texts = []
+    for f in astro.facts:
+        texts.extend(f.statement(i) for i in range(4))
+    texts.append("Question : A B C D Answer : Astrophysics and Cosmology "
+                 "Multiple choice questions Solution set :")
+    texts.append("User : Assistant : the answer is .")
+    return WordTokenizer.train(texts, vocab_size=4000, space_prefix=space_prefix)
+
+
+class OracleModel:
+    """Fake CausalLM that always puts the correct letter's token on top.
+
+    It decodes the prompt, finds the final question block, determines which
+    option matches the knowledge base, and returns logits favouring that
+    letter under the given convention.
+    """
+
+    def __init__(self, tokenizer, astro, convention, accuracy=1.0, seed=0):
+        self.tokenizer = tokenizer
+        self.astro = {f.question(): f.correct for f in astro.facts}
+        self.convention = convention
+        self.accuracy = accuracy
+        self.rng = np.random.default_rng(seed)
+
+    def next_token_logits(self, tokens):
+        vocab_size = len(self.tokenizer.vocab)
+        logits = np.zeros(vocab_size, dtype=np.float32)
+        text = self.tokenizer.decode(np.asarray(tokens))
+        # last question block
+        blocks = text.split("Question :")
+        last = blocks[-1]
+        lines = last.split(" A : ")
+        question = lines[0].strip()
+        # parse options back out of the flattened text
+        rest = "A : " + lines[1] if len(lines) > 1 else ""
+        options = {}
+        for letter in "ABCD":
+            marker = f"{letter} : "
+            start = rest.find(marker)
+            if start < 0:
+                continue
+            end = len(rest)
+            for nxt in ("B : ", "C : ", "D : ", " Answer"):
+                j = rest.find(nxt, start + len(marker))
+                if 0 <= j < end:
+                    end = j
+            options[letter] = rest[start + len(marker) : end].strip()
+        correct_value = None
+        for q, v in self.astro.items():
+            if question.endswith(q) or q in question:
+                correct_value = v
+                break
+        pick = None
+        if correct_value is not None and self.rng.random() < self.accuracy:
+            for letter, value in options.items():
+                if value == correct_value:
+                    pick = letter
+                    break
+        if pick is None:
+            pick = "ABCD"[int(self.rng.integers(0, 4))]
+        for letter in "ABCD":
+            cands = self.tokenizer.answer_token_candidates(letter)
+            tid = cands.get(self.convention)
+            if tid is not None:
+                logits[tid] = 10.0 if letter == pick else 1.0
+        return logits
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("space_prefix,expected", [(False, "bare"), (True, "space-prefixed")])
+    def test_single_convention_resolved_from_vocab(self, astro, bench, space_prefix, expected):
+        tok = make_tokenizer(astro, space_prefix)
+        model = OracleModel(tok, astro, expected)
+        amap = discover_answer_tokens(model, tok, bench.dev[:2], bench.few_shot(2))
+        assert amap.convention == expected
+        assert len(amap.letter_ids()) == 4
+
+    def test_probing_picks_the_live_convention(self, astro, bench):
+        """A vocab exposing BOTH conventions: discovery must probe logits."""
+        texts = []
+        for f in astro.facts:
+            texts.extend(f.statement(i) for i in range(4))
+        texts.append("Question : Answer : Astrophysics and Cosmology Multiple "
+                     "choice questions Solution set :")
+        # space_prefix tokenizer whose corpus also contains text-initial
+        # letters -> both bare and marker-prefixed forms exist for A-D
+        texts.extend(["A B C D", "B C D A", "C D A B", "D A B C"])
+        tok = WordTokenizer.train(texts, vocab_size=4000, space_prefix=True)
+        for letter in "ABCD":
+            assert set(tok.answer_token_candidates(letter)) == {"bare", "space-prefixed"}
+        for live in ("bare", "space-prefixed"):
+            model = OracleModel(tok, astro, live)
+            amap = discover_answer_tokens(model, tok, bench.dev[:3], bench.few_shot(2))
+            assert amap.convention == live
+
+
+class TestTokenPrediction:
+    def test_oracle_scores_perfectly(self, astro, bench):
+        tok = make_tokenizer(astro, False)
+        model = OracleModel(tok, astro, "bare", accuracy=1.0)
+        evaluator = TokenPredictionEvaluator(model, tok, bench.few_shot(2))
+        runner = EvaluationRunner(bench)
+        result = runner.run(evaluator.predict, "token_base", "oracle")
+        assert result.accuracy == 1.0
+
+    def test_partial_oracle_scores_between(self, astro, bench):
+        tok = make_tokenizer(astro, False)
+        model = OracleModel(tok, astro, "bare", accuracy=0.5, seed=3)
+        evaluator = TokenPredictionEvaluator(model, tok, bench.few_shot(2))
+        runner = EvaluationRunner(bench)
+        result = runner.run(evaluator.predict, "token_base", "half-oracle")
+        # 0.5 oracle + chance on the rest ~= 0.625
+        assert 0.4 < result.accuracy < 0.85
+
+    def test_per_topic_breakdown_partitions(self, astro, bench):
+        tok = make_tokenizer(astro, False)
+        model = OracleModel(tok, astro, "bare")
+        evaluator = TokenPredictionEvaluator(model, tok, bench.few_shot(2))
+        result = EvaluationRunner(bench).run(evaluator.predict, "m", "oracle")
+        assert result.per_topic
+        for acc in result.per_topic.values():
+            assert acc == 1.0
+
+    def test_max_questions_limits(self, astro, bench):
+        tok = make_tokenizer(astro, False)
+        model = OracleModel(tok, astro, "bare")
+        evaluator = TokenPredictionEvaluator(model, tok, bench.few_shot(2))
+        result = EvaluationRunner(bench, max_questions=7).run(
+            evaluator.predict, "m", "oracle"
+        )
+        assert result.n_questions == 7
+
+
+class TestPromptFormats:
+    def test_next_token_prompt_structure(self, bench):
+        prompt = format_next_token_prompt(bench.test[0], bench.few_shot(2))
+        assert prompt.startswith("Astrophysics and Cosmology")
+        assert prompt.count("Question :") == 3
+        assert prompt.endswith("Answer :")
+        # few-shot answers included, test answer absent
+        assert prompt.count("Answer :") == 3
+        for ex in bench.few_shot(2):
+            assert f"Answer : {ex.correct_letter}" in prompt
+
+    def test_paper_prompt_contains_contract(self, bench):
+        q = bench.test[0]
+        prompt = format_paper_full_instruct(q)
+        assert "You are an expert in general astrophysics" in prompt
+        assert '"ANSWER"' in prompt and '"EXPLANATION"' in prompt
+        assert q.question in prompt
+        for opt in q.options:
+            assert opt in prompt
+
+    def test_micro_chat_prompt(self, bench):
+        prompt = format_micro_chat_prompt(bench.test[0])
+        assert prompt.startswith("User :")
+        assert prompt.endswith("Assistant :")
+
+
+class TestFullInstructEvaluator:
+    def test_generate_and_parse_with_trained_echo_model(self, astro, bench):
+        """A tiny model overfit to echo 'the answer is X' for one question
+        exercises the real generate->parse loop end to end."""
+        tok = make_tokenizer(astro, False)
+        q = bench.test[0]
+        prompt = format_micro_chat_prompt(q)
+        target = f"the answer is {q.correct_letter} ."
+        model = TransformerLM(
+            ModelConfig(vocab_size=len(tok.vocab), d_model=32, n_layers=2,
+                        n_heads=4, max_seq_len=192),
+            seed=0,
+        )
+        from repro.train import Trainer, TrainingConfig
+
+        ids = tok.encode(prompt + " " + target) + [tok.vocab.eos_id]
+        x = np.asarray([ids[:-1]])
+        t = np.asarray([ids[1:]])
+        trainer = Trainer(model, TrainingConfig(learning_rate=5e-3, total_steps=80))
+        trainer.train(lambda: iter([(x, t, None)] * 1000))
+
+        evaluator = FullInstructEvaluator(
+            model, tok, eos_id=tok.vocab.eos_id
+        )
+        outcome = evaluator.answer(q)
+        assert outcome.parsed
+        assert outcome.answer_idx == q.correct_idx
+        assert evaluator.records[0].response  # transcript retained

@@ -1,0 +1,115 @@
+"""Answer-parsing pipeline tests (the Section V-A two-stage parser)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.parsing import (
+    FallbackInterpreter,
+    extract_answer_freeform,
+    extract_answer_json,
+    parse_model_answer,
+)
+
+OPTIONS = (
+    "2500 kelvin",
+    "800 kelvin",
+    "130 kelvin",
+    "4100 kelvin",
+)
+
+
+class TestJSONExtraction:
+    def test_clean_json(self):
+        text = '{"ANSWER": "B", "EXPLANATION": "because physics"}'
+        assert extract_answer_json(text) == 1
+
+    def test_json_with_preamble(self):
+        text = 'Sure! Here is my answer:\n{"ANSWER": "D", "EXPLANATION": "..."}'
+        assert extract_answer_json(text) == 3
+
+    def test_lowercase_key(self):
+        assert extract_answer_json('{"answer": "A"}') == 0
+
+    def test_answer_with_bracket_text(self):
+        assert extract_answer_json('{"ANSWER": "C) 130 kelvin"}') is None or \
+            extract_answer_json('{"ANSWER": "C) 130 kelvin"}') == 2
+
+    def test_sloppy_json_field_regex(self):
+        # invalid JSON (trailing comma) but the field is regex-recoverable
+        text = '{"ANSWER": "C", "EXPLANATION": "...",}'
+        assert extract_answer_json(text) == 2
+
+    def test_no_json(self):
+        assert extract_answer_json("the answer is B") is None
+
+
+class TestFreeformExtraction:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("The answer is B.", 1),
+            ("the answer is: C", 2),
+            ("Answer: D", 3),
+            ("I would choose A here", 0),
+            ("The correct answer is (B)", 1),
+            ("Option C is correct because", 2),
+            ("A", 0),
+            ("  b  ", 1),
+            ("A : 2500 kelvin is what I pick", 0),
+        ],
+    )
+    def test_patterns(self, text, expected):
+        assert extract_answer_freeform(text) == expected
+
+    def test_no_match(self):
+        assert extract_answer_freeform("I am not sure about this question") is None
+
+    def test_does_not_match_article_a(self):
+        # lone article "a" inside prose must not be read as option A
+        assert extract_answer_freeform("this is a tricky question") is None
+
+
+class TestFallbackInterpreter:
+    def test_unique_value_mention(self):
+        interp = FallbackInterpreter()
+        text = "based on stellar physics the temperature must be 800 kelvin"
+        assert interp.interpret(text, OPTIONS) == 1
+
+    def test_multiple_mentions_ambiguous(self):
+        interp = FallbackInterpreter()
+        text = "it could be 800 kelvin or 130 kelvin"
+        # falls to overlap scoring which ties -> None
+        assert interp.interpret(text, OPTIONS) is None
+
+    def test_token_overlap(self):
+        interp = FallbackInterpreter()
+        options = ("red dwarf stars", "blue supergiants", "white dwarfs", "neutron stars")
+        text = "the progenitors are certainly blue supergiants in this scenario"
+        assert interp.interpret(text, options) == 1
+
+    def test_no_signal(self):
+        interp = FallbackInterpreter()
+        assert interp.interpret("completely unrelated text", ("aa", "bb", "cc", "dd")) is None
+
+
+class TestFullPipeline:
+    def test_stage_tags(self):
+        assert parse_model_answer('{"ANSWER": "A"}', OPTIONS).stage == "json"
+        assert parse_model_answer("the answer is B", OPTIONS).stage == "regex"
+        assert (
+            parse_model_answer("it is surely 130 kelvin", OPTIONS).stage
+            == "interpreter"
+        )
+        outcome = parse_model_answer("xyzzy", ("q1 w1", "q2 w2", "q3 w3", "q4 w4"))
+        assert outcome.stage == "failed" and not outcome.parsed
+
+    def test_json_takes_priority_over_freeform(self):
+        text = 'the answer is B... final: {"ANSWER": "C"}'
+        assert parse_model_answer(text, OPTIONS).answer_idx == 2
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_never_crashes(self, text):
+        outcome = parse_model_answer(text, OPTIONS)
+        assert outcome.answer_idx in (None, 0, 1, 2, 3)

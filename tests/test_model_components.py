@@ -1,0 +1,218 @@
+"""Model component tests: config, generation/KV-cache, checkpoints, bf16, LoRA."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    GenerationConfig,
+    LoRAConfig,
+    ModelConfig,
+    TransformerLM,
+    apply_lora,
+    bf16_round,
+    generate,
+    greedy_decode,
+    load_model,
+    merge_lora,
+    save_model,
+)
+from repro.model.config import scaled_config
+from repro.model.precision import bf16_ulp
+
+
+def small_model(seed=0, **kw):
+    cfg = ModelConfig(
+        vocab_size=40, d_model=16, n_layers=2, n_heads=2, max_seq_len=32, **kw
+    )
+    return TransformerLM(cfg, seed=seed)
+
+
+class TestConfig:
+    def test_d_ff_derived(self):
+        cfg = ModelConfig(vocab_size=10, d_model=48)
+        assert cfg.d_ff >= 48 * 8 // 3
+        assert cfg.d_ff % 8 == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=10, d_model=30, n_heads=4)  # not divisible
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=10, d_model=18, n_heads=6)  # odd head dim
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=0)
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=10, norm_type="bogus")
+
+    def test_num_parameters_matches_model(self):
+        for tie in (True, False):
+            for act in ("swiglu", "gelu"):
+                cfg = ModelConfig(
+                    vocab_size=33,
+                    d_model=16,
+                    n_layers=2,
+                    n_heads=2,
+                    max_seq_len=16,
+                    tie_embeddings=tie,
+                    activation=act,
+                )
+                assert TransformerLM(cfg).num_parameters() == cfg.num_parameters()
+
+    def test_scaled_config_ladder(self):
+        sizes = [
+            scaled_config(100, tier).num_parameters()
+            for tier in ("tiny", "small", "medium", "large")
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_scaled_config_unknown(self):
+        with pytest.raises(ValueError):
+            scaled_config(100, "gigantic")
+
+    def test_roundtrip(self):
+        cfg = ModelConfig(vocab_size=10, d_model=16, n_heads=2)
+        assert ModelConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestGeneration:
+    def test_kv_cache_matches_full_forward(self):
+        """Incremental decoding must agree with the full-sequence forward."""
+        model = small_model(seed=2)
+        prompt = [1, 5, 9, 3]
+        out = greedy_decode(model, prompt, max_new_tokens=6)
+        # recompute each step with a full forward
+        seq = list(prompt)
+        expected = []
+        for _ in range(6):
+            logits = model.forward(np.asarray([seq]))
+            tok = int(np.argmax(logits[0, -1]))
+            expected.append(tok)
+            seq.append(tok)
+        assert out == expected
+
+    def test_greedy_deterministic(self):
+        model = small_model(seed=2)
+        a = greedy_decode(model, [1, 2, 3], max_new_tokens=5)
+        b = greedy_decode(model, [1, 2, 3], max_new_tokens=5)
+        assert a == b
+
+    def test_stop_tokens(self):
+        model = small_model(seed=2)
+        first = greedy_decode(model, [1, 2, 3], max_new_tokens=10)
+        stopped = greedy_decode(
+            model, [1, 2, 3], max_new_tokens=10, stop_token_ids=(first[0],)
+        )
+        assert stopped == [first[0]]
+
+    def test_temperature_sampling_seeded(self):
+        model = small_model(seed=2)
+        cfg = GenerationConfig(max_new_tokens=5, temperature=1.0, seed=4)
+        a = generate(model, [1, 2], cfg)
+        b = generate(model, [1, 2], cfg)
+        assert a == b
+
+    def test_top_k_restricts(self):
+        model = small_model(seed=2)
+        greedy = greedy_decode(model, [1, 2], max_new_tokens=1)
+        top1 = generate(
+            model, [1, 2], GenerationConfig(max_new_tokens=1, temperature=2.0, top_k=1)
+        )
+        assert top1 == greedy
+
+    def test_long_prompt_left_truncated(self):
+        model = small_model(seed=2)
+        long_prompt = list(np.random.default_rng(0).integers(1, 40, size=100))
+        out = generate(model, long_prompt, GenerationConfig(max_new_tokens=4))
+        assert len(out) == 4
+
+    def test_empty_prompt_raises(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            generate(model, [], GenerationConfig(max_new_tokens=2))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            GenerationConfig(temperature=-0.1)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        model = small_model(seed=9)
+        save_model(model, tmp_path / "ckpt")
+        loaded = load_model(tmp_path / "ckpt")
+        assert loaded.config == model.config
+        x = np.asarray([[1, 2, 3]])
+        np.testing.assert_allclose(model.forward(x), loaded.forward(x), atol=1e-6)
+
+    def test_state_mismatch_detected(self):
+        a = small_model()
+        b = TransformerLM(
+            ModelConfig(vocab_size=40, d_model=16, n_layers=1, n_heads=2, max_seq_len=32)
+        )
+        with pytest.raises(KeyError):
+            b.load_state(a.state_copy())
+
+
+class TestPrecision:
+    def test_bf16_idempotent(self):
+        x = np.random.default_rng(0).normal(size=100).astype(np.float32)
+        once = bf16_round(x)
+        np.testing.assert_array_equal(once, bf16_round(once))
+
+    def test_bf16_error_bounded(self):
+        x = np.random.default_rng(0).normal(size=1000).astype(np.float32)
+        err = np.abs(bf16_round(x) - x)
+        # relative error bounded by half ulp ~ 2^-8
+        assert np.all(err <= np.abs(x) * 2.0**-8 + 1e-30)
+
+    def test_bf16_representable_values_unchanged(self):
+        vals = np.array([1.0, 0.5, -2.0, 0.0], dtype=np.float32)
+        np.testing.assert_array_equal(bf16_round(vals), vals)
+
+    def test_ulp(self):
+        assert bf16_ulp(1.0) == pytest.approx(2.0**-7)
+        assert bf16_ulp(2.0) == pytest.approx(2.0**-6)
+        assert bf16_ulp(0.0) > 0
+
+
+class TestLoRAIntegration:
+    def test_apply_restricts_trainable_params(self):
+        model = small_model()
+        n_before = model.num_parameters()
+        apply_lora(model, LoRAConfig(rank=2), seed=0)
+        names = list(model.named_parameters())
+        wrapped = [n for n in names if "lora_" in n]
+        assert wrapped  # adapters present
+        # wq/wv frozen weights no longer exposed
+        assert not any(n.endswith("attn.wq.weight") for n in names)
+        assert any(n.endswith("attn.wk.weight") for n in names)  # wk untouched
+        assert model.num_parameters() < n_before
+
+    def test_apply_preserves_forward(self):
+        model = small_model(seed=3)
+        x = np.asarray([[1, 2, 3, 4]])
+        ref = model.forward(x).copy()
+        apply_lora(model, LoRAConfig(rank=2), seed=0)
+        np.testing.assert_allclose(model.forward(x), ref, atol=1e-5)
+
+    def test_merge_restores_plain_linears(self):
+        model = small_model(seed=3)
+        x = np.asarray([[1, 2, 3, 4]])
+        adapters = apply_lora(model, LoRAConfig(rank=2), seed=0)
+        # perturb adapters so the merge is non-trivial
+        for ad in adapters:
+            ad.params["lora_B"][...] = 0.01
+        adapted = model.forward(x).copy()
+        merged = merge_lora(model)
+        assert merged == len(adapters)
+        np.testing.assert_allclose(model.forward(x), adapted, atol=1e-5)
+        # merged model exposes full parameters again
+        assert any(
+            n.endswith("attn.wq.weight") for n in model.named_parameters()
+        )
+
+    def test_unknown_projection_raises(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            apply_lora(model, LoRAConfig(target_projections=("bogus",)))

@@ -1,0 +1,121 @@
+"""Base-pretraining data-stream tests (no training)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pretrain import BasePretrainConfig, BasePretrainer
+from repro.core.world import MicroWorld
+from repro.core.zoo import get_entry
+
+
+@pytest.fixture(scope="module")
+def world():
+    return MicroWorld.build_test(seed=0)
+
+
+@pytest.fixture(scope="module")
+def pretrainer(world):
+    return BasePretrainer(world, BasePretrainConfig())
+
+
+class TestEpochDocuments:
+    def _docs(self, pretrainer, world, epoch=0, entry_name="LLaMA-2-7B"):
+        entry = get_entry(entry_name)
+        covered = set(world.covered_fact_ids(entry.base_astro_coverage, entry.family.name))
+        return pretrainer._epoch_documents(entry, covered, epoch), covered
+
+    def test_fresh_shuffles_each_epoch(self, pretrainer, world):
+        docs0, _ = self._docs(pretrainer, world, epoch=0)
+        docs1, _ = self._docs(pretrainer, world, epoch=1)
+        assert docs0 != docs1  # option shuffles and order regenerate
+
+    def test_same_epoch_deterministic(self, pretrainer, world):
+        docs_a, _ = self._docs(pretrainer, world, epoch=3)
+        docs_b, _ = self._docs(pretrainer, world, epoch=3)
+        assert docs_a == docs_b
+
+    def test_uncovered_facts_absent(self, pretrainer, world):
+        docs, covered = self._docs(pretrainer, world)
+        blob = "\n".join(docs)
+        uncovered = [f for f in world.astro.facts if f.fact_id not in covered]
+        for fact in uncovered:
+            assert fact.question() not in blob
+
+    def test_covered_facts_present(self, pretrainer, world):
+        docs, covered = self._docs(pretrainer, world)
+        blob = "\n".join(docs)
+        covered_facts = [f for f in world.astro.facts if f.fact_id in covered]
+        present = sum(1 for f in covered_facts if f.subject in blob)
+        assert present == len(covered_facts)
+
+    def test_quiz_documents_use_eval_header(self, pretrainer, world):
+        docs, _ = self._docs(pretrainer, world)
+        with_header = [d for d in docs if d.startswith(BasePretrainer.QUIZ_HEADER)]
+        assert with_header, "no astro quiz documents carry the eval header"
+        multi_question = [d for d in docs if d.count("Question :") >= 2]
+        assert multi_question, "no multi-question quiz documents generated"
+
+    def test_general_and_astro_headers_distinct(self, pretrainer, world):
+        docs, _ = self._docs(pretrainer, world)
+        blob = "\n".join(docs)
+        assert BasePretrainer.GENERAL_HEADER in blob
+        assert BasePretrainer.QUIZ_HEADER in blob
+
+    def test_documents_tokenize_without_unk(self, pretrainer, world):
+        docs, _ = self._docs(pretrainer, world)
+        for family in ("llama-2", "llama-3"):
+            tok = world.tokenizer_for(family)
+            unk = tok.vocab.unk_id
+            bad = [d for d in docs if unk in tok.encode(d)]
+            assert not bad, f"{family}: {len(bad)} docs contain <unk>: {bad[:1]}"
+
+    def test_higher_coverage_adds_documents(self, pretrainer, world):
+        entry_small = get_entry("LLaMA-2-7B")  # coverage 0.35
+        entry_large = get_entry("LLaMA-2-70B")  # coverage 0.55
+        docs_small = pretrainer._epoch_documents(
+            entry_small,
+            set(world.covered_fact_ids(entry_small.base_astro_coverage, "llama-2")),
+            0,
+        )
+        docs_large = pretrainer._epoch_documents(
+            entry_large,
+            set(world.covered_fact_ids(entry_large.base_astro_coverage, "llama-2")),
+            0,
+        )
+        assert len(docs_large) > len(docs_small)
+
+
+class TestQuizGrouping:
+    def test_groups_cover_all_exercises(self):
+        rng = np.random.default_rng(0)
+        exercises = [f"Question : q{i}\nAnswer : A" for i in range(20)]
+        docs = BasePretrainer._quiz_documents(exercises, "HDR", rng)
+        blob = "\n".join(docs)
+        for i in range(20):
+            assert f"q{i}" in blob
+
+    def test_group_sizes_bounded(self):
+        rng = np.random.default_rng(1)
+        exercises = [f"Question : q{i}\nAnswer : A" for i in range(30)]
+        docs = BasePretrainer._quiz_documents(exercises, "HDR", rng)
+        for d in docs:
+            assert 1 <= d.count("Question :") <= 3
+
+    def test_empty_input(self):
+        rng = np.random.default_rng(0)
+        assert BasePretrainer._quiz_documents([], "HDR", rng) == []
+
+
+class TestModelConfigSelection:
+    def test_tier_to_config(self, pretrainer):
+        cfg_tiny = pretrainer.model_config(get_entry("LLaMA-2-7B"))
+        cfg_large = pretrainer.model_config(get_entry("LLaMA-2-70B"))
+        assert cfg_large.num_parameters() > cfg_tiny.num_parameters()
+
+    def test_vocab_follows_family_tokenizer(self, pretrainer, world):
+        cfg2 = pretrainer.model_config(get_entry("LLaMA-2-7B"))
+        cfg3 = pretrainer.model_config(get_entry("LLaMA-3-8B"))
+        assert cfg2.vocab_size == world.tokenizer_for("llama-2").vocab_size
+        assert cfg3.vocab_size == world.tokenizer_for("llama-3").vocab_size
+        # space-prefix roughly doubles the word vocabulary
+        assert cfg3.vocab_size > cfg2.vocab_size

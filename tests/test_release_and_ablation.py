@@ -1,0 +1,130 @@
+"""Tests: benchmark release tooling, ablation sweeps, the §VII forecast."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    capacity_frontier,
+    dataset_quality_sweep,
+    sft_remedy_sweep,
+)
+from repro.core import forecast_full_text_cpt
+from repro.corpus import make_astro_knowledge
+from repro.mcq import (
+    ScoringServer,
+    build_benchmark,
+    export_answer_key,
+    export_public,
+    verify_release_integrity,
+)
+from repro.mcq.release import _fingerprint
+
+
+@pytest.fixture(scope="module")
+def bench():
+    kb = make_astro_knowledge(n_facts=120, seed=13)
+    return build_benchmark(kb, n_articles=12, dev_size=4, seed=14)
+
+
+class TestRelease:
+    def test_public_export_leaks_nothing(self, bench, tmp_path):
+        n = export_public(bench, tmp_path / "public.json")
+        assert n == len(bench)
+        assert verify_release_integrity(tmp_path / "public.json") == []
+        raw = (tmp_path / "public.json").read_text()
+        assert "correct_idx" not in raw
+        assert "explanation" not in raw
+
+    def test_integrity_catches_leak(self, bench, tmp_path):
+        export_public(bench, tmp_path / "p.json")
+        data = json.loads((tmp_path / "p.json").read_text())
+        data["questions"][0]["correct_idx"] = 2
+        (tmp_path / "p.json").write_text(json.dumps(data))
+        problems = verify_release_integrity(tmp_path / "p.json")
+        assert any("correct_idx" in p for p in problems)
+
+    def test_scoring_server_roundtrip(self, bench, tmp_path):
+        export_answer_key(bench, tmp_path / "key.json")
+        server = ScoringServer.from_key_file(tmp_path / "key.json")
+        perfect = {_fingerprint(q): q.correct_idx for q in bench.questions}
+        result = server.score(perfect)
+        assert result["accuracy"] == 1.0
+        assert result["n"] == len(bench)
+
+    def test_scoring_counts_none_wrong(self, bench, tmp_path):
+        export_answer_key(bench, tmp_path / "key.json")
+        server = ScoringServer.from_key_file(tmp_path / "key.json")
+        preds = {_fingerprint(q): None for q in bench.questions}
+        assert server.score(preds)["accuracy"] == 0.0
+
+    def test_scoring_refuses_probing_batches(self, bench, tmp_path):
+        export_answer_key(bench, tmp_path / "key.json")
+        server = ScoringServer.from_key_file(tmp_path / "key.json")
+        one = {_fingerprint(bench.questions[0]): 0}
+        with pytest.raises(ValueError):
+            server.score(one)
+
+    def test_scoring_rejects_unknown_fingerprints(self, bench, tmp_path):
+        export_answer_key(bench, tmp_path / "key.json")
+        server = ScoringServer.from_key_file(tmp_path / "key.json", min_batch=1)
+        with pytest.raises(KeyError):
+            server.score({"deadbeef": 0})
+
+    def test_fingerprints_unique(self, bench):
+        fps = {_fingerprint(q) for q in bench.questions}
+        assert len(fps) == len(bench)
+
+
+class TestAblations:
+    def test_sft_remedy_monotone_and_closes_gap(self):
+        sweep = sft_remedy_sweep()
+        assert sweep.monotone_increasing()
+        assert sweep.ys[0] == pytest.approx(64.7, abs=0.5)  # paper value
+        assert sweep.ys[-1] > 72.0  # near the token-instruct ceiling
+
+    def test_dataset_quality_monotone(self):
+        sweep = dataset_quality_sweep()
+        assert sweep.monotone_increasing()
+
+    def test_capacity_frontier_break_even(self):
+        sweep, breakeven = capacity_frontier()
+        assert breakeven is not None
+        # calibrated phis: large (3.5) is below break-even, tiny (17.4) above
+        from repro.scale import CALIBRATED_PARAMS
+
+        assert CALIBRATED_PARAMS.phi["large"] < breakeven
+        assert CALIBRATED_PARAMS.phi["tiny"] > breakeven
+
+    def test_sweep_crossing_none_when_no_cross(self):
+        from repro.analysis import Sweep
+
+        s = Sweep("x", "p")
+        s.add(0.0, 1.0)
+        s.add(1.0, 2.0)
+        assert s.crossing(5.0) is None
+
+    def test_sweep_render(self):
+        sweep = sft_remedy_sweep()
+        art = sweep.render()
+        assert "sft_astro_fraction" in art
+        assert "#" in art
+
+    def test_quality_sweep_requires_cpt_entry(self):
+        with pytest.raises(ValueError):
+            dataset_quality_sweep("LLaMA-2-7B")
+
+
+class TestForecast:
+    def test_full_text_cpt_is_order_1e4(self):
+        est = forecast_full_text_cpt()
+        assert 1e4 <= est.gpu_hours < 1e5
+
+    def test_beyond_astro_ph_reaches_1e5(self):
+        est = forecast_full_text_cpt(corpus_multiplier=8)
+        assert est.gpu_hours >= 1e5 * 0.8
+
+    def test_8b_full_text_far_cheaper(self):
+        big = forecast_full_text_cpt(n_params=70e9)
+        small = forecast_full_text_cpt(n_params=8e9)
+        assert small.gpu_hours < big.gpu_hours / 10

@@ -1,0 +1,135 @@
+"""Tensor-parallel sharding tests: exactness against dense computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import Communicator, DeviceMesh, mlp_tp_forward
+from repro.parallel.tensor_parallel import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    attention_heads_tp_split,
+    shard_columns,
+    shard_rows,
+    tp_memory_per_rank,
+)
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(params=[2, 4])
+def comm(request):
+    return Communicator(DeviceMesh(1, request.param))
+
+
+class TestSharding:
+    def test_column_shards_reassemble(self):
+        w = RNG.normal(size=(8, 12))
+        shards = shard_columns(w, 4)
+        np.testing.assert_array_equal(np.concatenate(shards, axis=1), w)
+
+    def test_row_shards_reassemble(self):
+        w = RNG.normal(size=(8, 12))
+        shards = shard_rows(w, 4)
+        np.testing.assert_array_equal(np.concatenate(shards, axis=0), w)
+
+    def test_indivisible_raises(self):
+        w = RNG.normal(size=(8, 10))
+        with pytest.raises(ValueError):
+            shard_columns(w, 4)
+        with pytest.raises(ValueError):
+            shard_rows(RNG.normal(size=(10, 8)), 4)
+
+
+class TestColumnParallel:
+    def test_matches_dense(self, comm):
+        w = RNG.normal(size=(6, 8)).astype(np.float64)
+        x = RNG.normal(size=(3, 6))
+        layer = ColumnParallelLinear.from_dense(w, comm)
+        np.testing.assert_allclose(layer.forward(x), x @ w, atol=1e-12)
+
+    def test_sharded_outputs_concatenate(self, comm):
+        w = RNG.normal(size=(6, 8))
+        x = RNG.normal(size=(3, 6))
+        layer = ColumnParallelLinear.from_dense(w, comm)
+        slices = layer.forward_sharded(x)
+        np.testing.assert_allclose(
+            np.concatenate(slices, axis=-1), x @ w, atol=1e-12
+        )
+
+    def test_batched_inputs(self, comm):
+        w = RNG.normal(size=(6, 8))
+        x = RNG.normal(size=(2, 5, 6))
+        layer = ColumnParallelLinear.from_dense(w, comm)
+        np.testing.assert_allclose(layer.forward(x), x @ w, atol=1e-12)
+
+
+class TestRowParallel:
+    def test_matches_dense(self, comm):
+        w = RNG.normal(size=(8, 6)).astype(np.float64)
+        x = RNG.normal(size=(3, 8))
+        layer = RowParallelLinear.from_dense(w, comm)
+        np.testing.assert_allclose(layer.forward(x), x @ w, atol=1e-10)
+
+    def test_input_dim_validated(self, comm):
+        layer = RowParallelLinear.from_dense(RNG.normal(size=(8, 6)), comm)
+        with pytest.raises(ValueError):
+            layer.forward(RNG.normal(size=(3, 10)))
+
+    def test_shard_count_validated(self, comm):
+        layer = RowParallelLinear.from_dense(RNG.normal(size=(8, 6)), comm)
+        with pytest.raises(ValueError):
+            layer.forward_from_sharded([RNG.normal(size=(3, 2))])
+
+
+class TestMLPTP:
+    def test_matches_dense_mlp(self, comm):
+        d, h = 8, 16
+        w_up = RNG.normal(size=(d, h))
+        w_down = RNG.normal(size=(h, d))
+        x = RNG.normal(size=(4, d))
+
+        def relu(v):
+            return np.maximum(v, 0.0)
+
+        dense = relu(x @ w_up) @ w_down
+        tp = mlp_tp_forward(x, w_up, w_down, comm, activation=relu)
+        np.testing.assert_allclose(tp, dense, atol=1e-10)
+
+    def test_single_all_reduce_only(self, comm):
+        d, h = 8, 16
+        before = dict(comm.stats.per_op_calls)
+        mlp_tp_forward(
+            RNG.normal(size=(2, d)),
+            RNG.normal(size=(d, h)),
+            RNG.normal(size=(h, d)),
+            comm,
+        )
+        after = comm.stats.per_op_calls
+        assert after.get("all_reduce", 0) - before.get("all_reduce", 0) == 1
+        assert after.get("all_gather", 0) == before.get("all_gather", 0)
+
+
+class TestHeadSplit:
+    def test_partition(self):
+        groups = attention_heads_tp_split(8, 4)
+        assert groups == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_indivisible(self):
+        with pytest.raises(ValueError):
+            attention_heads_tp_split(6, 4)
+
+
+class TestMemory:
+    def test_70b_serving_footprint(self):
+        """The cost model's TP=4 choice: 70B bf16 fits 4 x A100-40GB."""
+        per_rank_gb = tp_memory_per_rank(70e9, 4) / 1e9
+        assert per_rank_gb == pytest.approx(35.0)
+        assert per_rank_gb < 40.0
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_memory_conserved(self, parts):
+        total = tp_memory_per_rank(1e9, parts) * parts
+        assert total == pytest.approx(2e9)

@@ -1,0 +1,104 @@
+"""Utility tests: seeded RNG derivation, text helpers, atomic I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    SeedSequenceRegistry,
+    atomic_write_json,
+    atomic_write_text,
+    derive_seed,
+    new_rng,
+    normalize_whitespace,
+    read_json,
+    read_text,
+    sentence_join,
+    spawn_rngs,
+    truncate_tokens,
+    word_count,
+)
+
+
+class TestRNG:
+    def test_derivation_deterministic(self):
+        assert derive_seed(42, "corpus") == derive_seed(42, "corpus")
+
+    def test_derivation_namespaced(self):
+        assert derive_seed(42, "corpus") != derive_seed(42, "model")
+        assert derive_seed(42, "a", "b") != derive_seed(42, "a", "c")
+        assert derive_seed(41, "a") != derive_seed(42, "a")
+
+    def test_path_components_not_concatenated(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_new_rng_streams_independent(self):
+        a = new_rng(0, "x").random(5)
+        b = new_rng(0, "y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(7, ["a", "b"])
+        assert set(rngs) == {"a", "b"}
+        assert rngs["a"].random() != rngs["b"].random()
+
+    def test_registry_stable_and_counts(self):
+        reg = SeedSequenceRegistry(9)
+        s1 = reg.seed_for("train", 0)
+        s2 = reg.seed_for("train", 0)
+        assert s1 == s2
+        assert reg.request_count("train", 0) == 2
+        assert reg.issued_paths == ["train/0"]
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_derive_seed_in_64bit_range(self, seed, name):
+        s = derive_seed(seed, name)
+        assert 0 <= s < 2**64
+
+
+class TestText:
+    def test_normalize(self):
+        assert normalize_whitespace("  a \t b \n c ") == "a b c"
+
+    def test_word_count(self):
+        assert word_count("") == 0
+        assert word_count("one two three") == 3
+        assert word_count("   spaced   out   ") == 2
+
+    def test_sentence_join_adds_periods(self):
+        assert sentence_join(["a", "b!"]) == "a. b!"
+        assert sentence_join(["", "x"]) == "x."
+
+    def test_truncate_tokens(self):
+        assert truncate_tokens([1, 2, 3], 2) == [1, 2]
+        assert truncate_tokens([1], 5) == [1]
+        with pytest.raises(ValueError):
+            truncate_tokens([1], -1)
+
+
+class TestIO:
+    def test_text_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "file.txt"
+        atomic_write_text(path, "hello")
+        assert read_text(path) == "hello"
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "data.json"
+        obj = {"b": [1, 2], "a": {"nested": True}}
+        atomic_write_json(path, obj)
+        assert read_json(path) == obj
+
+    def test_overwrite_atomic(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert read_text(path) == "two"
+        # no leftover temp files
+        assert [p.name for p in tmp_path.iterdir()] == ["f.txt"]

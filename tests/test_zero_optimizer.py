@@ -1,0 +1,145 @@
+"""ZeRO-1 tests: exactness vs dense AdamW, sharding memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelConfig, TransformerLM
+from repro.parallel import Communicator, DeviceMesh
+from repro.parallel.zero_optimizer import (
+    Zero1AdamW,
+    flatten_params,
+    unflatten_into,
+    zero1_memory_per_rank,
+)
+from repro.train.optimizer import AdamW
+
+
+def make_model(seed=0):
+    return TransformerLM(
+        ModelConfig(vocab_size=24, d_model=16, n_layers=1, n_heads=2, max_seq_len=16),
+        seed=seed,
+    )
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        model = make_model()
+        params = model.named_parameters()
+        flat, layout = flatten_params(params)
+        assert flat.size == model.num_parameters()
+        # zero out then restore
+        backup = {k: v.copy() for k, v in params.items()}
+        for v in params.values():
+            v.fill(0.0)
+        unflatten_into(flat, layout, params)
+        for k in params:
+            np.testing.assert_array_equal(params[k], backup[k])
+
+    def test_layout_sorted_and_complete(self):
+        model = make_model()
+        _, layout = flatten_params(model.named_parameters())
+        keys = [k for k, _, _ in layout]
+        assert keys == sorted(keys)
+        assert sum(int(np.prod(s)) for _, _, s in layout) == model.num_parameters()
+
+
+class TestZero1Exactness:
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_matches_dense_adamw(self, world):
+        """ZeRO-1 over R ranks == dense AdamW on mean gradients."""
+        mesh = DeviceMesh(1, world)
+        comm = Communicator(mesh)
+
+        model_zero = make_model(seed=3)
+        model_dense = make_model(seed=3)
+        zero = Zero1AdamW(comm, weight_decay=0.0)
+        dense = AdamW(
+            model_dense.named_parameters(),
+            model_dense.named_gradients(),
+            betas=(0.9, 0.95),
+        )
+        rng = np.random.default_rng(0)
+        for step in range(5):
+            # simulate per-rank gradients from different shards
+            per_rank = []
+            for r in range(world):
+                model_zero.zero_grad()
+                x = rng.integers(1, 24, size=(2, 8))
+                model_zero.loss_and_backward(x, np.roll(x, -1, axis=1))
+                per_rank.append(
+                    {k: v.copy() for k, v in model_zero.named_gradients().items()}
+                )
+            # dense reference: mean of the rank gradients
+            model_dense.zero_grad()
+            for k, g in model_dense.named_gradients().items():
+                g[...] = np.mean([pr[k] for pr in per_rank], axis=0)
+            dense.step(1e-3)
+            zero.step(model_zero.named_parameters(), per_rank, 1e-3)
+
+            p_zero = model_zero.named_parameters()
+            p_dense = model_dense.named_parameters()
+            for k in p_dense:
+                np.testing.assert_allclose(
+                    p_zero[k], p_dense[k], rtol=1e-5, atol=1e-7
+                )
+
+    def test_weight_decay_applied(self):
+        comm = Communicator(DeviceMesh(1, 2))
+        model = make_model(seed=1)
+        before = model.embed.params["weight"].copy()
+        zero = Zero1AdamW(comm, weight_decay=0.1)
+        grads = [
+            {k: np.zeros_like(v) for k, v in model.named_parameters().items()}
+            for _ in range(2)
+        ]
+        zero.step(model.named_parameters(), grads, lr=0.5)
+        # zero gradients: only decay moves weights
+        assert np.abs(model.embed.params["weight"]).sum() < np.abs(before).sum()
+
+    def test_gradient_key_mismatch(self):
+        comm = Communicator(DeviceMesh(1, 2))
+        model = make_model()
+        with pytest.raises(KeyError):
+            zero = Zero1AdamW(comm)
+            zero.step(
+                model.named_parameters(),
+                [{"bogus": np.zeros(3)} for _ in range(2)],
+                1e-3,
+            )
+
+    def test_rank_count_mismatch(self):
+        comm = Communicator(DeviceMesh(1, 4))
+        model = make_model()
+        grads = {k: np.zeros_like(v) for k, v in model.named_parameters().items()}
+        with pytest.raises(ValueError):
+            Zero1AdamW(comm).step(model.named_parameters(), [grads], 1e-3)
+
+
+class TestZeroMemory:
+    def test_state_shards_shrink_with_world(self):
+        model = make_model()
+        grads = {k: np.zeros_like(v) for k, v in model.named_parameters().items()}
+        sizes = {}
+        for world in (2, 4):
+            comm = Communicator(DeviceMesh(1, world))
+            zero = Zero1AdamW(comm)
+            zero.step(model.named_parameters(), [grads] * world, 1e-3)
+            sizes[world] = zero.state_bytes_per_rank()
+        assert sizes[4] < sizes[2]
+
+    def test_70b_optimizer_term_shards_linearly(self):
+        """At 70B the two fp32 moments are 560 GB dense; ZeRO-1 across 32
+        ranks cuts the per-rank optimizer term to 17.5 GB.  (Weights and
+        gradients stay replicated under stage 1 — why real 70B runs pair
+        ZeRO with tensor/pipeline parallelism, as the cluster model's
+        multi-node threshold reflects.)"""
+        one = zero1_memory_per_rank(70e9, 1)
+        many = zero1_memory_per_rank(70e9, 32)
+        replicated = 70e9 * 4.0  # bf16 weights + grads, both layouts
+        assert one - replicated == pytest.approx(70e9 * 8.0)
+        assert many - replicated == pytest.approx(70e9 * 8.0 / 32)
+        assert many < one
+
+    def test_world_validation(self):
+        with pytest.raises(ValueError):
+            zero1_memory_per_rank(1e9, 0)
