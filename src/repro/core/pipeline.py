@@ -34,7 +34,7 @@ from repro.corpus.datasets import (
     with_qa_bridge,
 )
 from repro.eval.full_instruct import FullInstructEvaluator
-from repro.eval.runner import EvaluationResult, EvaluationRunner
+from repro.eval.runner import BatchedEvaluationRunner, EvaluationResult
 from repro.eval.token_pred import TokenPredictionEvaluator
 from repro.model.lora import LoRAConfig, apply_lora, merge_lora
 from repro.model.sampling import GenerationConfig
@@ -79,6 +79,7 @@ class PipelineConfig:
     max_questions: Optional[int] = None
     few_shot: int = 2
     gen_max_new_tokens: int = 32
+    eval_batch_size: int = 32  # suffix batch for prefix-cached token scoring
     seed: int = 0
 
 
@@ -232,21 +233,29 @@ class AstroLLaMAPipeline:
         model_name: str,
     ) -> Dict[str, EvaluationResult]:
         cfg = self.config
-        runner = EvaluationRunner(self.world.benchmark, cfg.max_questions)
+        runner = BatchedEvaluationRunner(self.world.benchmark, cfg.max_questions)
         few_shot = self.world.benchmark.few_shot(cfg.few_shot)
         prefix = [tokenizer.vocab.eos_id]
         out: Dict[str, EvaluationResult] = {}
 
         base_eval = TokenPredictionEvaluator(
-            base_model, tokenizer, few_shot, prefix_ids=prefix
+            base_model,
+            tokenizer,
+            few_shot,
+            prefix_ids=prefix,
+            batch_size=cfg.eval_batch_size,
         )
-        out["token_base"] = runner.run(base_eval.predict, "token_base", model_name)
+        out["token_base"] = runner.run(base_eval, "token_base", model_name)
 
         instr_eval = TokenPredictionEvaluator(
-            instruct_model, tokenizer, few_shot, prefix_ids=prefix
+            instruct_model,
+            tokenizer,
+            few_shot,
+            prefix_ids=prefix,
+            batch_size=cfg.eval_batch_size,
         )
         out["token_instruct"] = runner.run(
-            instr_eval.predict, "token_instruct", model_name
+            instr_eval, "token_instruct", model_name
         )
 
         full_eval = FullInstructEvaluator(
@@ -260,7 +269,7 @@ class AstroLLaMAPipeline:
             prefix_ids=prefix,
         )
         out["full_instruct"] = runner.run(
-            full_eval.predict, "full_instruct", model_name
+            full_eval, "full_instruct", model_name
         )
         return out
 

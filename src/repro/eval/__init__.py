@@ -29,7 +29,12 @@ from repro.eval.token_pred import (
     discover_answer_tokens,
 )
 from repro.eval.full_instruct import FullInstructEvaluator
-from repro.eval.runner import EvaluationResult, EvaluationRunner
+from repro.eval.runner import (
+    BatchedEvaluationRunner,
+    EvaluationResult,
+    EvaluationRunner,
+    assemble_result,
+)
 from repro.eval.probes import circuit_quality, knowledge_recall
 
 __all__ = [
@@ -47,7 +52,9 @@ __all__ = [
     "TokenPredictionEvaluator",
     "FullInstructEvaluator",
     "EvaluationRunner",
+    "BatchedEvaluationRunner",
     "EvaluationResult",
+    "assemble_result",
     "knowledge_recall",
     "circuit_quality",
 ]

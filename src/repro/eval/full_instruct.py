@@ -16,6 +16,7 @@ import numpy as np
 from repro.eval.parsing import FallbackInterpreter, ParseOutcome, parse_model_answer
 from repro.eval.prompts import format_micro_chat_prompt, format_paper_full_instruct
 from repro.mcq.generation import MCQuestion
+from repro.model.kv_cache import PrefixCacheStore
 from repro.model.sampling import GenerationConfig, generate
 from repro.model.transformer import TransformerLM
 
@@ -48,6 +49,7 @@ class FullInstructEvaluator:
         interpreter: Optional[FallbackInterpreter] = None,
         eos_id: Optional[int] = None,
         prefix_ids: Sequence[int] = (),
+        reuse_prefix: bool = True,
     ) -> None:
         self.model = model
         self.tokenizer = tokenizer
@@ -58,13 +60,36 @@ class FullInstructEvaluator:
         )
         self.interpreter = interpreter or FallbackInterpreter()
         self.prefix_ids = list(prefix_ids)
+        self.reuse_prefix = reuse_prefix and hasattr(model, "prefill")
+        self._prefix_store = PrefixCacheStore(max_entries=2)
         self.records: List[FullInstructRecord] = []
+
+    def _scaffold_prefix(self, prompt_ids: List[int]):
+        """The prefilled chat scaffold shared by every question's prompt.
+
+        The first prompt is prefilled in full and stored; later prompts
+        fork the stored cache at their (token-level) common prefix — the
+        scaffold — so it is never re-prefilled.
+        """
+        if not self.reuse_prefix:
+            return None
+        if len(prompt_ids) > self.model.config.max_seq_len:
+            return None  # generate() will left-truncate; nothing reusable
+        hit = self._prefix_store.match(prompt_ids)
+        if hit is not None:
+            return hit[0]
+        return self._prefix_store.put(self.model.prefill(prompt_ids))
 
     def answer(self, question: MCQuestion) -> ParseOutcome:
         """Prompt, generate, parse; records the transcript."""
         prompt = self.prompt_builder(question)
         prompt_ids = self.prefix_ids + self.tokenizer.encode(prompt)
-        out_ids = generate(self.model, prompt_ids, self.generation)
+        out_ids = generate(
+            self.model,
+            prompt_ids,
+            self.generation,
+            prefix=self._scaffold_prefix(prompt_ids),
+        )
         response = self.tokenizer.decode(out_ids)
         outcome = parse_model_answer(response, question.options, self.interpreter)
         self.records.append(

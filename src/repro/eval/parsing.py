@@ -23,7 +23,6 @@ from repro.corpus.knowledge import ANSWER_LETTERS
 
 _LETTER_IDX = {letter: i for i, letter in enumerate(ANSWER_LETTERS)}
 
-_JSON_BLOCK_RE = re.compile(r"\{.*?\}", re.DOTALL)
 _ANSWER_FIELD_RE = re.compile(
     r'"?ANSWER"?\s*[:=]\s*"?\(?\[?([A-D])\b', re.IGNORECASE
 )
@@ -50,9 +49,42 @@ class ParseOutcome:
         return self.answer_idx is not None
 
 
+def _iter_json_blocks(text: str):
+    """Yield top-level balanced ``{...}`` spans, string-aware.
+
+    A non-greedy ``\\{.*?\\}`` regex truncates any object whose
+    ``EXPLANATION`` (or a nested object) contains ``{...}`` before the
+    ``ANSWER`` key, so brace depth is tracked instead; braces inside JSON
+    string literals (and escaped quotes) do not affect the depth.
+    """
+    depth = 0
+    start = -1
+    in_string = False
+    escaped = False
+    for i, ch in enumerate(text):
+        if in_string:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+            continue
+        if ch == '"' and depth > 0:
+            in_string = True
+        elif ch == "{":
+            if depth == 0:
+                start = i
+            depth += 1
+        elif ch == "}" and depth > 0:
+            depth -= 1
+            if depth == 0:
+                yield text[start : i + 1]
+
+
 def extract_answer_json(text: str) -> Optional[int]:
     """Parse the paper's JSON output contract; tolerant of sloppy JSON."""
-    for block in _JSON_BLOCK_RE.findall(text):
+    for block in _iter_json_blocks(text):
         try:
             obj = json.loads(block)
         except json.JSONDecodeError:

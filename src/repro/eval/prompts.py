@@ -62,10 +62,35 @@ def _question_block(question: MCQuestion, answer: Optional[str]) -> str:
     return "\n".join(lines)
 
 
+NEXT_TOKEN_HEADER = (
+    "Astrophysics and Cosmology Multiple choice questions Solution set :"
+)
+
+
+def format_next_token_scaffold(
+    few_shot: Sequence[MCQuestion] = (),
+    header: str = NEXT_TOKEN_HEADER,
+) -> str:
+    """The question-independent part of the next-token prompt.
+
+    Header plus solved few-shot blocks — identical for every question in
+    a benchmark run, which is what makes it prefix-cacheable.
+    """
+    parts: List[str] = [header]
+    for ex in few_shot:
+        parts.append(_question_block(ex, ex.correct_letter))
+    return "\n".join(parts)
+
+
+def format_next_token_suffix(question: MCQuestion) -> str:
+    """The per-question tail of the next-token prompt (incl. separator)."""
+    return "\n" + _question_block(question, None)
+
+
 def format_next_token_prompt(
     question: MCQuestion,
     few_shot: Sequence[MCQuestion] = (),
-    header: str = "Astrophysics and Cosmology Multiple choice questions Solution set :",
+    header: str = NEXT_TOKEN_HEADER,
 ) -> str:
     """Render the Appendix C two-shot next-token prompt.
 
@@ -73,8 +98,6 @@ def format_next_token_prompt(
     test question ends with a bare ``Answer :`` so the next token is the
     model's choice.
     """
-    parts: List[str] = [header]
-    for ex in few_shot:
-        parts.append(_question_block(ex, ex.correct_letter))
-    parts.append(_question_block(question, None))
-    return "\n".join(parts)
+    return format_next_token_scaffold(few_shot, header) + format_next_token_suffix(
+        question
+    )

@@ -19,12 +19,30 @@ from typing import Dict, List, Optional, Protocol, Sequence
 import numpy as np
 
 from repro.corpus.knowledge import ANSWER_LETTERS
-from repro.eval.prompts import format_next_token_prompt
+from repro.eval.prompts import (
+    format_next_token_prompt,
+    format_next_token_scaffold,
+    format_next_token_suffix,
+)
 from repro.mcq.generation import MCQuestion
+from repro.model.kv_cache import PrefixCache, shared_prefix
 
 
 class CausalLM(Protocol):
     def next_token_logits(self, tokens: np.ndarray) -> np.ndarray: ...
+
+
+class BatchedCausalLM(CausalLM, Protocol):
+    """A model that can also score many shared-prefix prompts at once."""
+
+    def prefill(self, token_ids: Sequence[int]) -> PrefixCache: ...
+
+    def next_token_logits_many(
+        self,
+        suffixes: Sequence[Sequence[int]],
+        prefix: Optional[PrefixCache] = ...,
+        pad_id: int = ...,
+    ) -> np.ndarray: ...
 
 
 class TokenizerLike(Protocol):
@@ -82,7 +100,10 @@ def discover_answer_tokens(
 
     scores = {name: 0 for name in conventions}
     for question in probe_questions:
-        prompt = format_next_token_prompt(question, few_shot)
+        # Probes are drawn from the few-shot pool; a probe must not appear
+        # as a solved example inside its own prompt (answer leakage).
+        shots = [s for s in few_shot if s.question_id != question.question_id]
+        prompt = format_next_token_prompt(question, shots)
         tokens = np.asarray(
             list(prefix_ids) + tokenizer.encode(prompt), dtype=np.int64
         )
@@ -106,14 +127,18 @@ class TokenPredictionEvaluator:
         answer_map: Optional[AnswerTokenMap] = None,
         n_probe: int = 4,
         prefix_ids: Sequence[int] = (),
+        batch_size: int = 32,
     ) -> None:
         """``prefix_ids`` lets callers prepend the document-boundary token
         the model actually saw during packed training (micro models never
-        see BOS, only EOS separators)."""
+        see BOS, only EOS separators).  ``batch_size`` bounds how many
+        question suffixes :meth:`predict_many` scores per forward."""
         self.model = model
         self.tokenizer = tokenizer
         self.few_shot = list(few_shot)
         self.prefix_ids = list(prefix_ids)
+        self.batch_size = max(1, batch_size)
+        self._prefix_cache: Optional[PrefixCache] = None
         if answer_map is None:
             probes = self.few_shot or []
             answer_map = discover_answer_tokens(
@@ -125,15 +150,82 @@ class TokenPredictionEvaluator:
             )
         self.answer_map = answer_map
 
+    def _prompt_ids(self, question: MCQuestion) -> List[int]:
+        prompt = format_next_token_prompt(question, self.few_shot)
+        return self.prefix_ids + self.tokenizer.encode(prompt)
+
     def predict(self, question: MCQuestion) -> int:
         """Return the predicted option index (0..3) for one question."""
-        prompt = format_next_token_prompt(question, self.few_shot)
-        tokens = np.asarray(
-            self.prefix_ids + self.tokenizer.encode(prompt), dtype=np.int64
-        )
+        tokens = np.asarray(self._prompt_ids(question), dtype=np.int64)
         logits = self.model.next_token_logits(tokens)
         letter_logits = [logits[tid] for tid in self.answer_map.letter_ids()]
         return int(np.argmax(letter_logits))
 
+    # ------------------------------------------------------------------
+    def _split_prompts(
+        self, questions: Sequence[MCQuestion]
+    ) -> tuple:
+        """``(shared_ids, per_question_suffix_ids)`` for the batched path.
+
+        Fast path: encode the question-independent scaffold once and only
+        each question's tail.  The split is *verified* against the
+        sequential path's full encoding on the first question — if the
+        tokenizer merges across the boundary (so the concatenation is not
+        bit-identical), every prompt is fully encoded and the exact
+        longest common token prefix is used instead.
+        """
+        scaffold_ids = self.prefix_ids + self.tokenizer.encode(
+            format_next_token_scaffold(self.few_shot)
+        )
+        suffixes = [
+            self.tokenizer.encode(format_next_token_suffix(q)) for q in questions
+        ]
+        if scaffold_ids + suffixes[0] == self._prompt_ids(questions[0]):
+            return scaffold_ids, suffixes
+        encoded = [self._prompt_ids(q) for q in questions]
+        common = shared_prefix(encoded)
+        return common, [ids[len(common) :] for ids in encoded]
+
+    def _prefix_cache_for(self, shared_ids: List[int]) -> Optional[PrefixCache]:
+        """Prefill the shared prompt prefix exactly once per (model, shots)."""
+        if not shared_ids:
+            return None
+        cached = self._prefix_cache
+        if cached is not None and tuple(shared_ids) == cached.token_ids:
+            return cached
+        self._prefix_cache = self.model.prefill(shared_ids)
+        return self._prefix_cache
+
     def predict_many(self, questions: Sequence[MCQuestion]) -> List[int]:
-        return [self.predict(q) for q in questions]
+        """Batched :meth:`predict`: same predictions, one forward per batch.
+
+        When the model supports prefix-cached batch scoring
+        (:class:`BatchedCausalLM`), the shared two-shot scaffold is
+        forwarded exactly once and the per-question suffixes are scored
+        in padded batches; otherwise this falls back to the sequential
+        per-question path.
+        """
+        if not questions:
+            return []
+        if not hasattr(self.model, "next_token_logits_many") or not hasattr(
+            self.model, "prefill"
+        ):
+            return [self.predict(q) for q in questions]
+        shared_ids, suffixes = self._split_prompts(questions)
+        prefix = self._prefix_cache_for(shared_ids)
+        pad_id = getattr(getattr(self.tokenizer, "vocab", None), "pad_id", 0)
+        letter_ids = self.answer_map.letter_ids()
+        # Batch similar lengths together (stable sort) so each padded
+        # forward wastes as little work as possible; per-row results are
+        # padding-independent, so this cannot change any prediction.
+        order = sorted(range(len(suffixes)), key=lambda i: len(suffixes[i]))
+        predictions: List[int] = [0] * len(suffixes)
+        for i in range(0, len(order), self.batch_size):
+            chunk = order[i : i + self.batch_size]
+            logits = self.model.next_token_logits_many(
+                [suffixes[j] for j in chunk], prefix=prefix, pad_id=pad_id
+            )
+            picks = np.argmax(logits[:, letter_ids], axis=-1)
+            for j, pick in zip(chunk, picks):
+                predictions[j] = int(pick)
+        return predictions

@@ -14,6 +14,15 @@ guide idioms; there are no per-token Python loops in forward or backward.
 from repro.model.config import ModelConfig
 from repro.model.layers import Embedding, LayerNorm, Linear, Module, RMSNorm
 from repro.model.attention import MultiHeadAttention, RotaryEmbedding
+from repro.model.kv_cache import (
+    KVCache,
+    PrefixCache,
+    PrefixCacheStore,
+    cache_length,
+    common_prefix_len,
+    fork_cache,
+    shared_prefix,
+)
 from repro.model.mlp import GeluMLP, SwiGLU
 from repro.model.transformer import TransformerBlock, TransformerLM
 from repro.model.sampling import GenerationConfig, generate, greedy_decode
@@ -34,6 +43,13 @@ __all__ = [
     "GeluMLP",
     "TransformerBlock",
     "TransformerLM",
+    "KVCache",
+    "PrefixCache",
+    "PrefixCacheStore",
+    "cache_length",
+    "common_prefix_len",
+    "fork_cache",
+    "shared_prefix",
     "GenerationConfig",
     "generate",
     "greedy_decode",

@@ -119,7 +119,11 @@ class MultiHeadAttention(Module):
         x: np.ndarray,
         start_pos: int = 0,
         cache: Optional[Dict[str, np.ndarray]] = None,
+        extend_cache: bool = True,
     ) -> np.ndarray:
+        """``extend_cache=False`` treats ``cache`` as read-only context:
+        the new keys/values are attended against it but never folded back
+        in, so one prefix cache can score many batches without copies."""
         B, T, _ = x.shape
         q = self._split_heads(self.wq.forward(x))  # (B,H,T,hd)
         k = self._split_heads(self.wk.forward(x))
@@ -128,11 +132,24 @@ class MultiHeadAttention(Module):
         q = self.rope.apply(q, start_pos)
         k = self.rope.apply(k, start_pos)
 
+        kp = vp = None
         if cache is not None:
-            if "k" in cache:
-                k = np.concatenate([cache["k"], k], axis=2)
-                v = np.concatenate([cache["v"], v], axis=2)
-            cache["k"], cache["v"] = k, v
+            kp, vp = cache.get("k"), cache.get("v")
+            if extend_cache:
+                if kp is not None:
+                    k = np.concatenate([kp, k], axis=2)
+                    v = np.concatenate([vp, v], axis=2)
+                    kp = vp = None
+                cache["k"], cache["v"] = k, v
+        if kp is not None:
+            if B > 1 and kp.shape[0] == 1:
+                ctx = self._shared_prefix_attention(q, k, v, kp, vp, start_pos)
+                return self.wo.forward(self._merge_heads(ctx))
+            if kp.shape[0] != B:
+                kp = np.broadcast_to(kp, (B,) + kp.shape[1:])
+                vp = np.broadcast_to(vp, (B,) + vp.shape[1:])
+            k = np.concatenate([kp, k], axis=2)
+            v = np.concatenate([vp, v], axis=2)
 
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B,H,T,Tk)
@@ -149,6 +166,49 @@ class MultiHeadAttention(Module):
         if cache is None:
             self._cache = (q, k, v, probs, scale, start_pos)
         return out
+
+    def _shared_prefix_attention(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        kp: np.ndarray,
+        vp: np.ndarray,
+        start_pos: int,
+    ) -> np.ndarray:
+        """Two-block attention against a prefix shared by the whole batch.
+
+        ``kp``/``vp`` have batch dim 1 (one prefix, ``B`` suffix rows).
+        Prefix scores run as ``H`` large head-major gemms instead of
+        ``B*H`` tiny per-row ones, the softmax normalization is fused
+        across the two key blocks (flash-attention style), and the
+        concatenated ``(B, H, Tp+T, hd)`` key/value tensors are never
+        materialized.  Numerically this matches the naive path up to
+        float32 summation order.
+        """
+        B, H, T, hd = q.shape
+        Tp = kp.shape[2]
+        scale = np.float32(1.0 / np.sqrt(hd))
+        qh = (q * scale).transpose(1, 0, 2, 3).reshape(H, B * T, hd)
+        sp = qh @ kp[0].transpose(0, 2, 1)  # (H, B*T, Tp)
+        sn = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        if T > 1:
+            # every prefix key precedes every query; only suffix-internal
+            # positions need the causal mask
+            pos = np.arange(T)
+            sn += np.where(pos[None, :] > pos[:, None], NEG_INF, np.float32(0.0))
+        m = np.maximum(
+            sp.max(axis=-1), sn.max(axis=-1).transpose(1, 0, 2).reshape(H, B * T)
+        )  # (H, B*T)
+        np.exp(sp - m[:, :, None], out=sp)
+        np.exp(sn - m.reshape(H, B, T).transpose(1, 0, 2)[..., None], out=sn)
+        denom = sp.sum(axis=-1) + sn.sum(axis=-1).transpose(1, 0, 2).reshape(
+            H, B * T
+        )
+        ctx = sp @ vp[0]  # (H, B*T, hd)
+        ctx += (sn @ v).transpose(1, 0, 2, 3).reshape(H, B * T, hd)
+        ctx /= denom[:, :, None]
+        return ctx.reshape(H, B, T, hd).transpose(1, 0, 2, 3)
 
     # -- backward --------------------------------------------------------
     def backward(self, dout: np.ndarray) -> np.ndarray:

@@ -12,6 +12,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.model.kv_cache import PrefixCache
 from repro.model.layers import softmax
 from repro.model.transformer import TransformerLM
 
@@ -47,8 +48,14 @@ def _select_token(
         return int(np.argmax(logits))
     scaled = logits / config.temperature
     if config.top_k > 0 and config.top_k < scaled.shape[-1]:
-        kth = np.partition(scaled, -config.top_k)[-config.top_k]
-        scaled = np.where(scaled < kth, np.float32(-1e9), scaled)
+        # Exactly top_k survivors even under tied logits: order by
+        # (logit desc, index asc) so ties at the k-th value break
+        # deterministically toward lower token ids.
+        order = np.lexsort((np.arange(scaled.shape[-1]), -scaled))
+        kept = order[: config.top_k]
+        truncated = np.full_like(scaled, np.float32(-1e9))
+        truncated[kept] = scaled[kept]
+        scaled = truncated
     probs = softmax(scaled[None, :])[0].astype(np.float64)
     probs = probs / probs.sum()
     return int(rng.choice(probs.size, p=probs))
@@ -59,12 +66,18 @@ def generate(
     prompt_ids: Sequence[int],
     config: Optional[GenerationConfig] = None,
     logit_hook: Optional[Callable[[np.ndarray], None]] = None,
+    prefix: Optional[PrefixCache] = None,
 ) -> List[int]:
     """Generate a continuation of ``prompt_ids``; returns only new tokens.
 
     The prompt is truncated *from the left* if prompt + generation would
     exceed the model's context window (keeping the most recent context, as
     serving stacks do).
+
+    ``prefix`` is an optional prefilled cache (see
+    :meth:`TransformerLM.prefill`): the longest leading run of the prompt
+    it covers is reused instead of re-prefilled, which turns a benchmark's
+    shared chat scaffold into a one-time cost.
     """
     config = config or GenerationConfig()
     rng = np.random.default_rng(config.seed)
@@ -79,8 +92,19 @@ def generate(
     if not prompt:
         raise ValueError("prompt must contain at least one token")
 
-    cache = model.new_cache()
-    logits = model.forward(np.asarray(prompt, dtype=np.int64), cache=cache)
+    # At least the final prompt token is always forwarded so the step
+    # logits come from a real forward against the (possibly forked) cache.
+    reused = min(prefix.overlap(prompt), len(prompt) - 1) if prefix else 0
+    if reused > 0:
+        cache = prefix.fork(batch_size=1, length=reused)
+        logits = model.forward(
+            np.asarray(prompt[reused:], dtype=np.int64),
+            start_pos=reused,
+            cache=cache,
+        )
+    else:
+        cache = model.new_cache()
+        logits = model.forward(np.asarray(prompt, dtype=np.int64), cache=cache)
     out: List[int] = []
     stop = set(config.stop_token_ids)
     pos = len(prompt)

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.model.attention import MultiHeadAttention, RotaryEmbedding
 from repro.model.config import ModelConfig
+from repro.model.kv_cache import KVCache, PrefixCache
 from repro.model.layers import (
     Embedding,
     LayerNorm,
@@ -18,8 +19,6 @@ from repro.model.layers import (
     softmax,
 )
 from repro.model.mlp import GeluMLP, SwiGLU
-
-KVCache = List[Dict[str, np.ndarray]]
 
 
 def _make_norm(config: ModelConfig) -> Module:
@@ -68,8 +67,11 @@ class TransformerBlock(Module):
         x: np.ndarray,
         start_pos: int = 0,
         cache: Optional[Dict[str, np.ndarray]] = None,
+        extend_cache: bool = True,
     ) -> np.ndarray:
-        x = x + self.attn.forward(self.attn_norm.forward(x), start_pos, cache)
+        x = x + self.attn.forward(
+            self.attn_norm.forward(x), start_pos, cache, extend_cache
+        )
         x = x + self.mlp.forward(self.mlp_norm.forward(x))
         return x
 
@@ -229,3 +231,87 @@ class TransformerLM(Module):
             tokens = tokens[None, :]
         logits = self.forward(tokens)
         return logits[0, -1]
+
+    # ------------------------------------------------------------------
+    # shared-prefix / batched evaluation path
+    # ------------------------------------------------------------------
+    def _hidden_states(
+        self,
+        tokens: np.ndarray,
+        start_pos: int = 0,
+        cache: Optional[KVCache] = None,
+        extend_cache: bool = True,
+    ) -> np.ndarray:
+        """Pre-norm residual stream after all blocks, shape ``(B, T, d)``."""
+        x = self.embed.forward(tokens)
+        for i, block in enumerate(self.blocks):
+            x = block.forward(
+                x,
+                start_pos,
+                cache[i] if cache is not None else None,
+                extend_cache,
+            )
+        return x
+
+    def _project_logits(self, h: np.ndarray) -> np.ndarray:
+        """Final norm + vocab projection for already-gathered positions."""
+        h = self.final_norm.forward(h)
+        if self.lm_head is not None:
+            return self.lm_head.forward(h)
+        return h @ self.embed.params["weight"].T
+
+    def prefill(self, token_ids: Sequence[int]) -> PrefixCache:
+        """Forward a prompt prefix once; the result is reusable forever.
+
+        The returned :class:`PrefixCache` carries the per-layer K/V
+        tensors plus the next-token logits at the prefix boundary, and
+        can be forked (trimmed and/or broadcast over a batch) for any
+        continuation that shares the prefix.  Only the final position is
+        projected to the vocabulary (the interior logits are never
+        needed), so prefilling is cheaper than :meth:`forward`.
+        """
+        ids = tuple(int(t) for t in token_ids)
+        if not ids:
+            return PrefixCache((), self.new_cache(), None)
+        cache = self.new_cache()
+        x = self._hidden_states(np.asarray([ids], dtype=np.int64), cache=cache)
+        logits = self._project_logits(x[:, -1])
+        return PrefixCache(ids, cache, logits[0])
+
+    def next_token_logits_many(
+        self,
+        suffixes: Sequence[Sequence[int]],
+        prefix: Optional[PrefixCache] = None,
+        pad_id: int = 0,
+    ) -> np.ndarray:
+        """Next-token logits for a whole batch of prompts in one forward.
+
+        Each row of the result is the logits following ``prefix.token_ids
+        + suffixes[i]``.  Suffixes are right-padded with ``pad_id`` (pads
+        sit *after* each row's last real token, so the causal mask keeps
+        them out of every real query's receptive field); each row's final
+        real hidden state is gathered *before* the vocab projection, so
+        only ``(B, vocab)`` logits are ever materialized.  The prefix
+        cache is used read-only (``extend_cache=False``), so no per-batch
+        key/value copies are made and the same :class:`PrefixCache` can
+        score any number of batches.  Returns ``(len(suffixes), vocab)``.
+        """
+        if not suffixes:
+            return np.zeros((0, self.config.vocab_size), dtype=np.float32)
+        lengths = np.asarray([len(s) for s in suffixes], dtype=np.int64)
+        if (lengths == 0).any():
+            if prefix is None or prefix.last_logits is None:
+                raise ValueError("empty suffix requires a prefix with logits")
+        B = len(suffixes)
+        T = int(lengths.max(initial=1))
+        start = prefix.length if prefix is not None else 0
+        tokens = np.full((B, T), pad_id, dtype=np.int64)
+        for i, suffix in enumerate(suffixes):
+            tokens[i, : len(suffix)] = suffix
+        cache = prefix.cache if prefix is not None and start else None
+        x = self._hidden_states(tokens, start_pos=start, cache=cache, extend_cache=False)
+        last = x[np.arange(B), np.maximum(lengths - 1, 0)]
+        out = self._project_logits(last)
+        if (lengths == 0).any():
+            out[lengths == 0] = prefix.last_logits  # type: ignore[union-attr]
+        return out

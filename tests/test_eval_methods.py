@@ -11,6 +11,7 @@ import pytest
 
 from repro.corpus import make_astro_knowledge
 from repro.eval import (
+    BatchedEvaluationRunner,
     EvaluationRunner,
     FullInstructEvaluator,
     TokenPredictionEvaluator,
@@ -133,6 +134,86 @@ class TestDiscovery:
             assert amap.convention == live
 
 
+def make_dual_tokenizer(astro):
+    """A vocab exposing BOTH letter conventions (forces logit probing)."""
+    texts = []
+    for f in astro.facts:
+        texts.extend(f.statement(i) for i in range(4))
+    texts.append("Question : Answer : Astrophysics and Cosmology Multiple "
+                 "choice questions Solution set :")
+    texts.extend(["A B C D", "B C D A", "C D A B", "D A B C"])
+    return WordTokenizer.train(texts, vocab_size=4000, space_prefix=True)
+
+
+class FixedTopModel:
+    """Fake CausalLM whose top-10 next-token ids are fixed per call."""
+
+    def __init__(self, vocab_size, top_ids):
+        self.vocab_size = vocab_size
+        self.top_ids = list(top_ids)
+
+    def next_token_logits(self, tokens):
+        logits = np.zeros(self.vocab_size, dtype=np.float32)
+        logits[self.top_ids] = 10.0
+        return logits
+
+
+class TestDiscoveryFallbacks:
+    def test_zero_hits_falls_back_to_bare(self, astro, bench):
+        tok = make_dual_tokenizer(astro)
+        candidate_ids = {
+            tid
+            for letter in "ABCD"
+            for tid in tok.answer_token_candidates(letter).values()
+        }
+        # top-10 never contains any candidate id -> both conventions score 0
+        top = [i for i in range(len(tok.vocab)) if i not in candidate_ids][:10]
+        model = FixedTopModel(len(tok.vocab), top)
+        amap = discover_answer_tokens(model, tok, bench.dev[:3], bench.few_shot(2))
+        assert amap.convention == "bare"
+
+    def test_tied_hits_prefer_bare(self, astro, bench):
+        tok = make_dual_tokenizer(astro)
+        # every letter's ids from BOTH conventions in the top-10 -> tie
+        top = [
+            tid
+            for letter in "ABCD"
+            for tid in tok.answer_token_candidates(letter).values()
+        ]
+        model = FixedTopModel(len(tok.vocab), top)
+        amap = discover_answer_tokens(model, tok, bench.dev[:3], bench.few_shot(2))
+        assert amap.convention == "bare"
+
+    def test_probe_prompt_excludes_probed_question(self, astro, bench):
+        """Regression: a probe drawn from the few-shot pool must not see
+        itself as a solved example in its own prompt (answer leakage)."""
+        import dataclasses
+
+        tok = make_dual_tokenizer(astro)
+        # force distinct correct letters so the leak is unambiguous
+        few_shot = [
+            dataclasses.replace(q, correct_idx=i)
+            for i, q in enumerate(bench.few_shot(2))
+        ]
+
+        seen_prompts = []
+
+        class RecordingModel(FixedTopModel):
+            def next_token_logits(self, tokens):
+                seen_prompts.append(tok.decode(np.asarray(tokens)))
+                return super().next_token_logits(tokens)
+
+        model = RecordingModel(len(tok.vocab), range(10))
+        discover_answer_tokens(model, tok, few_shot, few_shot)
+        assert len(seen_prompts) == len(few_shot)
+        for prompt, probe in zip(seen_prompts, few_shot):
+            lowered = prompt.lower()
+            # one fewer solved example than the full shot pool...
+            assert lowered.count("answer :") == len(few_shot)
+            # ...and the probe's own answer is nowhere in its prompt
+            assert f"answer : {probe.correct_letter.lower()}" not in lowered
+
+
 class TestTokenPrediction:
     def test_oracle_scores_perfectly(self, astro, bench):
         tok = make_tokenizer(astro, False)
@@ -224,3 +305,102 @@ class TestFullInstructEvaluator:
         assert outcome.parsed
         assert outcome.answer_idx == q.correct_idx
         assert evaluator.records[0].response  # transcript retained
+
+
+def make_real_model(tok, bench, seed=0):
+    """A random-weight TransformerLM big enough for the two-shot prompts."""
+    from repro.eval.prompts import format_next_token_prompt
+
+    longest = max(
+        len(tok.encode(format_next_token_prompt(q, bench.few_shot(2))))
+        for q in bench.test
+    )
+    cfg = ModelConfig(
+        vocab_size=len(tok.vocab), d_model=32, n_layers=2, n_heads=4,
+        max_seq_len=longest + 8,
+    )
+    return TransformerLM(cfg, seed=seed)
+
+
+class TestBatchedPrediction:
+    def test_batched_matches_sequential_on_full_benchmark(self, astro, bench):
+        """Acceptance: prefix-cached batched scoring is bit-identical to
+        the per-question path over the whole micro benchmark."""
+        tok = make_tokenizer(astro, False)
+        model = make_real_model(tok, bench, seed=5)
+        evaluator = TokenPredictionEvaluator(
+            model, tok, bench.few_shot(2), batch_size=7
+        )
+        sequential = [evaluator.predict(q) for q in bench.test]
+        batched = evaluator.predict_many(bench.test)
+        assert batched == sequential
+        # the shared scaffold really was prefilled (and only once)
+        assert evaluator._prefix_cache is not None
+        assert evaluator._prefix_cache.length > 0
+
+    def test_batched_runner_matches_sequential_runner(self, astro, bench):
+        tok = make_tokenizer(astro, False)
+        model = make_real_model(tok, bench, seed=6)
+        evaluator = TokenPredictionEvaluator(
+            model, tok, bench.few_shot(2), batch_size=16
+        )
+        slow = EvaluationRunner(bench).run(evaluator.predict, "m", "lm")
+        fast = BatchedEvaluationRunner(bench).run(evaluator, "m", "lm")
+        assert fast.predictions == slow.predictions
+        assert fast.accuracy == slow.accuracy
+        assert fast.per_topic == slow.per_topic
+
+    def test_predict_many_falls_back_without_batch_support(self, astro, bench):
+        """OracleModel has no prefill/next_token_logits_many: the batched
+        entry points must quietly use the per-question path."""
+        tok = make_tokenizer(astro, False)
+        model = OracleModel(tok, astro, "bare", accuracy=1.0)
+        evaluator = TokenPredictionEvaluator(model, tok, bench.few_shot(2))
+        result = BatchedEvaluationRunner(bench).run(evaluator, "m", "oracle")
+        assert result.accuracy == 1.0
+
+    def test_batched_runner_accepts_plain_predictor(self, astro, bench):
+        tok = make_tokenizer(astro, False)
+        model = OracleModel(tok, astro, "bare")
+        evaluator = TokenPredictionEvaluator(model, tok, bench.few_shot(2))
+        result = BatchedEvaluationRunner(bench, max_questions=5).run(
+            evaluator.predict, "m", "oracle"
+        )
+        assert result.n_questions == 5
+
+    def test_batched_runner_rejects_misaligned_batch(self, bench):
+        def predict_many(questions):
+            return [0]  # wrong length: one prediction for N questions
+
+        runner = BatchedEvaluationRunner(bench)
+        with pytest.raises(ValueError):
+            runner.run(predict_many, "m", "broken")
+
+    def test_empty_question_list(self, astro, bench):
+        tok = make_tokenizer(astro, False)
+        model = make_real_model(tok, bench)
+        evaluator = TokenPredictionEvaluator(model, tok, bench.few_shot(2))
+        assert evaluator.predict_many([]) == []
+
+
+class TestFullInstructPrefixReuse:
+    def test_reuse_matches_cold_path(self, astro, bench):
+        """Scaffold-cached generation must not change any transcript."""
+        tok = make_tokenizer(astro, False)
+        model = make_real_model(tok, bench, seed=7)
+        questions = bench.test[:4]
+        cold = FullInstructEvaluator(
+            model, tok, eos_id=tok.vocab.eos_id, reuse_prefix=False
+        )
+        warm = FullInstructEvaluator(
+            model, tok, eos_id=tok.vocab.eos_id, reuse_prefix=True
+        )
+        cold_preds = cold.predict_many(questions)
+        warm_preds = warm.predict_many(questions)
+        assert warm_preds == cold_preds
+        assert [r.response for r in warm.records] == [
+            r.response for r in cold.records
+        ]
+        # the scaffold cache was built exactly once and then re-hit
+        assert len(warm._prefix_store) == 1
+        assert warm._prefix_store.hits == len(questions) - 1

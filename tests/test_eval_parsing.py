@@ -43,6 +43,34 @@ class TestJSONExtraction:
     def test_no_json(self):
         assert extract_answer_json("the answer is B") is None
 
+    def test_nested_object_before_answer_key(self):
+        """Regression: the old non-greedy ``\\{.*?\\}`` regex truncated the
+        block at the nested object's closing brace and lost the ANSWER."""
+        text = '{"THOUGHTS": {"step": 1, "topic": "dust"}, "ANSWER": "B", "EXPLANATION": "x"}'
+        assert extract_answer_json(text) == 1
+
+    def test_braces_inside_explanation_string(self):
+        text = '{"EXPLANATION": "the {virial} theorem {applies}", "ANSWER": "D"}'
+        assert extract_answer_json(text) == 3
+
+    def test_escaped_quote_inside_string(self):
+        text = '{"EXPLANATION": "a \\"quoted{\\" aside", "ANSWER": "C"}'
+        assert extract_answer_json(text) == 2
+
+    def test_multiple_blocks_first_valid_wins(self):
+        text = '{"scratch": {"guess": "A"}} then {"ANSWER": "C"}'
+        assert extract_answer_json(text) == 2
+
+    def test_nested_json_via_full_pipeline_stays_json_stage(self):
+        text = '{"meta": {"n": 2}, "ANSWER": "A", "EXPLANATION": "..."}'
+        outcome = parse_model_answer(text, OPTIONS)
+        assert outcome.answer_idx == 0
+        assert outcome.stage == "json"
+
+    def test_unterminated_block_falls_back_to_field_regex(self):
+        text = '{"ANSWER": "D", "EXPLANATION": "cut off mid-sent'
+        assert extract_answer_json(text) == 3
+
 
 class TestFreeformExtraction:
     @pytest.mark.parametrize(

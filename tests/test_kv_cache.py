@@ -1,0 +1,205 @@
+"""Prefix-cache / batched-scoring tests for the shared-prompt eval path."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    GenerationConfig,
+    ModelConfig,
+    PrefixCache,
+    PrefixCacheStore,
+    TransformerLM,
+    cache_length,
+    common_prefix_len,
+    fork_cache,
+    generate,
+    shared_prefix,
+)
+
+
+def small_model(seed=0, vocab=120, max_seq_len=96):
+    return TransformerLM(
+        ModelConfig(
+            vocab_size=vocab, d_model=32, n_layers=2, n_heads=4,
+            max_seq_len=max_seq_len,
+        ),
+        seed=seed,
+    )
+
+
+def random_ids(rng, n, vocab=120):
+    return rng.integers(1, vocab, size=n).tolist()
+
+
+class TestHelpers:
+    def test_common_prefix_len(self):
+        assert common_prefix_len([1, 2, 3], [1, 2, 9]) == 2
+        assert common_prefix_len([1, 2], [1, 2, 3]) == 2
+        assert common_prefix_len([5], [6]) == 0
+        assert common_prefix_len([], [1]) == 0
+
+    def test_shared_prefix(self):
+        assert shared_prefix([[1, 2, 3, 4], [1, 2, 3, 9], [1, 2, 7]]) == [1, 2]
+        assert shared_prefix([[1, 2], [3]]) == []
+        assert shared_prefix([]) == []
+        assert shared_prefix([[4, 5, 6]]) == [4, 5, 6]
+
+    def test_cache_length(self):
+        model = small_model()
+        assert cache_length(model.new_cache()) == 0
+        pc = model.prefill([1, 2, 3, 4, 5])
+        assert cache_length(pc.cache) == 5
+
+
+class TestFork:
+    def test_fork_trims_and_broadcasts(self):
+        model = small_model()
+        pc = model.prefill([1, 2, 3, 4, 5, 6])
+        forked = pc.fork(batch_size=3, length=4)
+        for layer in forked:
+            assert layer["k"].shape[0] == 3
+            assert layer["k"].shape[2] == 4
+        with pytest.raises(ValueError):
+            pc.fork(length=7)
+
+    def test_extending_fork_leaves_parent_intact(self):
+        model = small_model()
+        rng = np.random.default_rng(0)
+        ids = random_ids(rng, 10)
+        pc = model.prefill(ids)
+        child = pc.fork(batch_size=1)
+        model.forward(np.asarray([[7, 8]]), start_pos=pc.length, cache=child)
+        assert cache_length(child) == pc.length + 2
+        assert cache_length(pc.cache) == pc.length
+
+    def test_fork_rejects_multi_row_broadcast(self):
+        model = small_model()
+        pc = model.prefill([1, 2, 3])
+        two = pc.fork(batch_size=2)
+        with pytest.raises(ValueError):
+            fork_cache(two, batch_size=3)
+
+
+class TestPrefillEquivalence:
+    def test_prefix_plus_suffix_matches_full_forward(self):
+        model = small_model(seed=1)
+        rng = np.random.default_rng(2)
+        prefix_ids = random_ids(rng, 30)
+        pc = model.prefill(prefix_ids)
+        for n in (1, 4, 9):
+            suffix = random_ids(rng, n)
+            full = model.next_token_logits(np.asarray(prefix_ids + suffix))
+            cached = model.forward(
+                np.asarray(suffix, dtype=np.int64),
+                start_pos=pc.length,
+                cache=pc.fork(batch_size=1),
+            )[0, -1]
+            np.testing.assert_allclose(cached, full, atol=1e-5)
+
+    def test_prefill_last_logits_match(self):
+        model = small_model(seed=1)
+        ids = [3, 4, 5, 6]
+        pc = model.prefill(ids)
+        np.testing.assert_allclose(
+            pc.last_logits, model.next_token_logits(np.asarray(ids)), atol=1e-6
+        )
+
+    def test_empty_prefill(self):
+        model = small_model()
+        pc = model.prefill([])
+        assert pc.length == 0 and pc.last_logits is None
+
+
+class TestBatchedNextTokenLogits:
+    def test_matches_sequential_with_ragged_suffixes(self):
+        model = small_model(seed=3)
+        rng = np.random.default_rng(4)
+        prefix_ids = random_ids(rng, 25)
+        pc = model.prefill(prefix_ids)
+        suffixes = [random_ids(rng, int(n)) for n in rng.integers(1, 12, size=9)]
+        suffixes.append([])  # whole prompt served by the cache
+        batched = model.next_token_logits_many(suffixes, prefix=pc, pad_id=0)
+        assert batched.shape == (len(suffixes), model.config.vocab_size)
+        for row, suffix in zip(batched, suffixes):
+            seq = model.next_token_logits(np.asarray(prefix_ids + suffix))
+            np.testing.assert_allclose(row, seq, atol=1e-5)
+
+    def test_no_prefix_batch(self):
+        model = small_model(seed=3)
+        rng = np.random.default_rng(5)
+        prompts = [random_ids(rng, int(n)) for n in rng.integers(2, 10, size=5)]
+        batched = model.next_token_logits_many(prompts, pad_id=0)
+        for row, prompt in zip(batched, prompts):
+            np.testing.assert_allclose(
+                row, model.next_token_logits(np.asarray(prompt)), atol=1e-5
+            )
+
+    def test_empty_suffix_without_prefix_raises(self):
+        model = small_model()
+        with pytest.raises(ValueError):
+            model.next_token_logits_many([[]])
+
+    def test_empty_batch(self):
+        model = small_model()
+        out = model.next_token_logits_many([])
+        assert out.shape == (0, model.config.vocab_size)
+
+
+class TestGenerateWithPrefix:
+    def test_same_tokens_as_cold_generate(self):
+        model = small_model(seed=6)
+        rng = np.random.default_rng(7)
+        scaffold = random_ids(rng, 20)
+        pc = model.prefill(scaffold)
+        for _ in range(3):
+            prompt = scaffold + random_ids(rng, 6)
+            cold = generate(model, prompt, GenerationConfig(max_new_tokens=8))
+            warm = generate(
+                model, prompt, GenerationConfig(max_new_tokens=8), prefix=pc
+            )
+            assert cold == warm
+
+    def test_whole_prompt_covered_still_forwards_last_token(self):
+        model = small_model(seed=6)
+        prompt = [1, 2, 3, 4, 5]
+        pc = model.prefill(prompt)
+        cold = generate(model, prompt, GenerationConfig(max_new_tokens=5))
+        warm = generate(model, prompt, GenerationConfig(max_new_tokens=5), prefix=pc)
+        assert cold == warm
+
+    def test_disjoint_prefix_is_ignored(self):
+        model = small_model(seed=6)
+        pc = model.prefill([50, 51, 52])
+        cold = generate(model, [1, 2, 3], GenerationConfig(max_new_tokens=4))
+        warm = generate(model, [1, 2, 3], GenerationConfig(max_new_tokens=4), prefix=pc)
+        assert cold == warm
+
+
+class TestPrefixCacheStore:
+    def test_match_prefers_longest_overlap(self):
+        model = small_model()
+        store = PrefixCacheStore(max_entries=4)
+        short = store.put(model.prefill([1, 2]))
+        long = store.put(model.prefill([1, 2, 3, 4]))
+        entry, overlap = store.match([1, 2, 3, 4, 9])
+        assert entry is long and overlap == 4
+        entry, overlap = store.match([1, 2, 9])
+        assert entry is short or overlap == 2
+
+    def test_miss_and_eviction(self):
+        model = small_model()
+        store = PrefixCacheStore(max_entries=2)
+        store.put(model.prefill([1]))
+        store.put(model.prefill([2]))
+        store.put(model.prefill([3]))
+        assert len(store) == 2
+        assert store.match([1, 5]) is None  # evicted
+        assert store.misses == 1
+        assert store.match([3, 5]) is not None
+        assert store.hits == 1
+
+    def test_min_overlap_threshold(self):
+        store = PrefixCacheStore()
+        store.put(PrefixCache((1, 2, 3), [], None))
+        assert store.match([1, 9], min_overlap=2) is None
+        assert store.match([1, 2, 9], min_overlap=2) is not None

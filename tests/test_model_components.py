@@ -118,6 +118,34 @@ class TestGeneration:
         )
         assert top1 == greedy
 
+    def test_top_k_exact_under_tied_logits(self):
+        """Regression: ties at the k-th logit used to survive truncation,
+        inflating the candidate set beyond top_k."""
+        from repro.model.sampling import _select_token
+
+        logits = np.zeros(12, dtype=np.float32)
+        logits[3] = 5.0
+        logits[[5, 7, 9]] = 2.0  # three-way tie for 2nd place
+        cfg = GenerationConfig(max_new_tokens=1, temperature=1.0, top_k=2, seed=0)
+        rng = np.random.default_rng(0)
+        picks = {
+            _select_token(logits, cfg, np.random.default_rng(s))
+            for s in range(200)
+        }
+        # exactly k=2 candidates: the max plus the lowest-index tied token
+        assert picks == {3, 5}
+
+    def test_top_k_all_tied_keeps_lowest_indices(self):
+        from repro.model.sampling import _select_token
+
+        logits = np.ones(8, dtype=np.float32)
+        cfg = GenerationConfig(max_new_tokens=1, temperature=1.0, top_k=3, seed=0)
+        picks = {
+            _select_token(logits, cfg, np.random.default_rng(s))
+            for s in range(200)
+        }
+        assert picks == {0, 1, 2}
+
     def test_long_prompt_left_truncated(self):
         model = small_model(seed=2)
         long_prompt = list(np.random.default_rng(0).integers(1, 40, size=100))
