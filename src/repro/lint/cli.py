@@ -1,0 +1,104 @@
+"""``python -m repro.lint`` — run the invariant checker from the shell.
+
+Exit status: 0 when clean (below ``--fail-on``), 1 when findings fail the
+build, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+from repro.lint.config import LintConfig
+from repro.lint.core import all_rules
+from repro.lint.engine import run_lint
+from repro.lint.reporters import json_report, text_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checker for the repro stack: cache "
+            "mutation, collective symmetry, RNG hygiene, float equality, "
+            "export drift."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only these rules (codes or names)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="skip these rules (codes or names)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="warning",
+        help="lowest severity that fails the build (default: warning)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split(groups: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if groups is None:
+        return None
+    return [item for group in groups for item in group.split(",") if item.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_cls in all_rules():
+            print(
+                f"{rule_cls.code}  {rule_cls.name:<22} "
+                f"[{rule_cls.default_severity}]  {rule_cls.description}"
+            )
+        return 0
+    try:
+        config = LintConfig.from_cli(
+            select=_split(args.select),
+            disable=_split(args.disable),
+            fail_on=args.fail_on,
+        )
+        result = run_lint(args.paths, config)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = json_report(result) if args.format == "json" else text_report(result)
+    try:
+        print(report)
+    except BrokenPipeError:  # e.g. piped into `head`; exit status still counts
+        sys.stderr.close()
+    return result.exit_code(config.fail_on)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

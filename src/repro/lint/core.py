@@ -1,0 +1,166 @@
+"""Core types for the invariant linter: findings, rules, the registry.
+
+The linter exists because the stack's safety contracts live in prose —
+``kv_cache.py`` promises that attention *rebinds* ``cache["k"]``/``cache["v"]``
+and never writes into the existing tensors, the ``parallel`` package assumes
+every rank issues the same collective sequence, and the benchmark's
+bit-exact comparability assumes disciplined RNG seeding.  Each contract
+becomes a :class:`Rule` that walks a module's AST and yields
+:class:`Finding`\\ s.
+
+Rules self-register via :func:`register`; the engine instantiates every
+registered rule unless a :class:`~repro.lint.config.LintConfig` narrows the
+selection.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; the CLI fails on findings >= ``--fail-on``."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:  # "error", for reports
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str  # rule code, e.g. "R1"
+    name: str  # rule slug, e.g. "cache-mutation"
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file handed to every rule."""
+
+    path: str  # as given on the command line, '/'-normalized
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` / ``name`` / ``description`` /
+    ``default_severity`` (and optionally ``default_options``) and implement
+    :meth:`check`.  Options arrive already merged (defaults overlaid with
+    any per-rule config), so ``check`` never consults global state.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+    default_options: Dict[str, object] = {}
+
+    def check(
+        self, module: ParsedModule, options: Dict[str, object]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.code,
+            name=self.name,
+            severity=severity or self.default_severity,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.code or not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.__name__} needs a code and a name")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def resolve_rule_id(ident: str) -> Optional[str]:
+    """Map a code ("R1") or slug ("cache-mutation") to a canonical code."""
+    ident = ident.strip()
+    upper = ident.upper()
+    if upper in _REGISTRY:
+        return upper
+    lower = ident.lower()
+    for code, cls in _REGISTRY.items():
+        if cls.name == lower:
+            return code
+    return None
+
+
+def iter_names(node: ast.AST) -> Iterable[str]:
+    """Every identifier mentioned anywhere inside ``node``.
+
+    Attribute terminals are included (``self.rank`` yields ``self`` and
+    ``rank``), which is what the rank/cache name heuristics need.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr

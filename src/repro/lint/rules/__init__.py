@@ -1,0 +1,15 @@
+"""Rule modules; importing this package registers every built-in rule."""
+
+from repro.lint.rules.cache_mutation import CacheMutationRule
+from repro.lint.rules.collective_symmetry import CollectiveSymmetryRule
+from repro.lint.rules.rng_hygiene import RngHygieneRule
+from repro.lint.rules.float_equality import FloatEqualityRule
+from repro.lint.rules.export_drift import ExportDriftRule
+
+__all__ = [
+    "CacheMutationRule",
+    "CollectiveSymmetryRule",
+    "RngHygieneRule",
+    "FloatEqualityRule",
+    "ExportDriftRule",
+]

@@ -20,6 +20,7 @@ from repro.model.kv_cache import (
     PrefixCacheStore,
     cache_length,
     common_prefix_len,
+    debug_cache_guard_enabled,
     fork_cache,
     shared_prefix,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "PrefixCacheStore",
     "cache_length",
     "common_prefix_len",
+    "debug_cache_guard_enabled",
     "fork_cache",
     "shared_prefix",
     "GenerationConfig",

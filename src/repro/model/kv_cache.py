@@ -22,6 +22,7 @@ broadcast) views of the parent's tensors.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,23 @@ import numpy as np
 
 #: Per-layer attention cache: ``cache[layer]["k"|"v"]`` is ``(B, H, T, hd)``.
 KVCache = List[Dict[str, np.ndarray]]
+
+
+def debug_cache_guard_enabled() -> bool:
+    """Whether the ``REPRO_DEBUG_CACHE`` runtime guard is on.
+
+    When enabled, :func:`fork_cache` hands out *non-writeable* views, so
+    any code that violates the rebind-not-mutate contract (the invariant
+    ``repro.lint`` rule R1 checks statically) raises ``ValueError:
+    assignment destination is read-only`` at the offending write instead
+    of silently corrupting every fork sharing the storage.
+    """
+    return os.environ.get("REPRO_DEBUG_CACHE", "").lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )
 
 
 def cache_length(cache: KVCache) -> int:
@@ -48,7 +66,12 @@ def fork_cache(
     touching the parent (attention rebinds, never mutates).  ``length``
     trims the fork to the first ``length`` positions; ``batch_size``
     broadcasts a single-row cache across a batch without copying.
+
+    With ``REPRO_DEBUG_CACHE`` set (see :func:`debug_cache_guard_enabled`)
+    the returned views are marked non-writeable, turning contract
+    violations into immediate ``ValueError``\\ s.
     """
+    freeze = debug_cache_guard_enabled()
     forked: KVCache = []
     for layer in cache:
         if "k" not in layer:
@@ -65,6 +88,11 @@ def fork_cache(
                 )
             k = np.broadcast_to(k, (batch_size,) + k.shape[1:])
             v = np.broadcast_to(v, (batch_size,) + v.shape[1:])
+        if freeze:
+            # fresh views so the parent's own arrays keep their flags
+            k, v = k.view(), v.view()
+            k.flags.writeable = False
+            v.flags.writeable = False
         forked.append({"k": k, "v": v})
     return forked
 

@@ -175,6 +175,48 @@ class TestGenerateWithPrefix:
         assert cold == warm
 
 
+class TestDebugCacheGuard:
+    """REPRO_DEBUG_CACHE: the runtime counterpart of lint rule R1."""
+
+    def test_forked_views_are_read_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_CACHE", "1")
+        model = small_model()
+        pc = model.prefill([1, 2, 3, 4])
+        forked = pc.fork(batch_size=2)
+        with pytest.raises(ValueError):
+            # lint: disable=R1 (intentional violation: proves the guard trips)
+            forked[0]["k"][..., 0] = 0.0
+        # the parent's own arrays keep their flags
+        assert pc.cache[0]["k"].flags.writeable
+
+    def test_guard_is_opt_in(self, monkeypatch):
+        for off in ("0", "false", "off", ""):
+            monkeypatch.setenv("REPRO_DEBUG_CACHE", off)
+            model = small_model()
+            forked = model.prefill([1, 2]).fork()
+            assert forked[0]["k"].flags.writeable
+
+    def test_extension_still_works_under_guard(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_CACHE", "1")
+        model = small_model()
+        pc = model.prefill([1, 2, 3])
+        child = pc.fork(batch_size=1)
+        model.forward(np.asarray([[7, 8]]), start_pos=pc.length, cache=child)
+        assert cache_length(child) == pc.length + 2
+        assert cache_length(pc.cache) == pc.length
+
+    def test_batched_scoring_unchanged_under_guard(self, monkeypatch):
+        model = small_model(seed=3)
+        rng = np.random.default_rng(11)
+        prefix_ids = random_ids(rng, 12)
+        suffixes = [random_ids(rng, 4), random_ids(rng, 2)]
+        pc = model.prefill(prefix_ids)
+        plain = model.next_token_logits_many(suffixes, prefix=pc)
+        monkeypatch.setenv("REPRO_DEBUG_CACHE", "1")
+        guarded = model.next_token_logits_many(suffixes, prefix=pc)
+        np.testing.assert_array_equal(plain, guarded)
+
+
 class TestPrefixCacheStore:
     def test_match_prefers_longest_overlap(self):
         model = small_model()

@@ -1,0 +1,439 @@
+"""Tests for ``repro.lint`` — the AST-based invariant checker.
+
+Layout mirrors the acceptance contract: one minimal violating fixture
+per rule (each triggers *exactly* that rule), clean counterparts that
+must stay silent, suppression-comment behavior, a JSON-reporter golden,
+CLI exit codes, and the "clean repo" gate asserting the checked-in tree
+lints clean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    Severity,
+    all_rules,
+    json_report,
+    lint_source,
+    run_lint,
+    text_report,
+)
+from repro.lint.engine import PARSE_ERROR_RULE
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MODEL_PATH = "src/repro/model/snippet.py"
+PARALLEL_PATH = "src/repro/parallel/snippet.py"
+EVAL_PATH = "src/repro/eval/snippet.py"
+
+
+def rules_fired(source, path=EVAL_PATH, config=None):
+    return [f.rule for f in lint_source(textwrap.dedent(source), path, config)]
+
+
+#: (rule, violating fixture, lint path) — each must fire exactly its rule
+VIOLATIONS = {
+    "R1-subscript-write": (
+        "R1",
+        """
+        from repro.model.kv_cache import KVCache
+
+        def corrupt(cache: KVCache):
+            cache[0]["k"][:, :, 0, :] = 0.0
+        """,
+        MODEL_PATH,
+    ),
+    "R1-augassign-slot": (
+        "R1",
+        """
+        def scale(pc):
+            forked = pc.fork(batch_size=2)
+            for layer in forked:
+                layer["v"] += 1.0
+        """,
+        MODEL_PATH,
+    ),
+    "R1-extracted-tensor": (
+        "R1",
+        """
+        def poke(layer_cache):
+            k = layer_cache["k"]
+            k[..., 0] = 9
+        """,
+        MODEL_PATH,
+    ),
+    "R1-out-kwarg": (
+        "R1",
+        """
+        import numpy as np
+
+        def exp_into(prefix_cache):
+            kk = prefix_cache[0].get("k")
+            np.exp(kk, out=kk)
+        """,
+        MODEL_PATH,
+    ),
+    "R2-rank-branch": (
+        "R2",
+        """
+        def step(comm, rank):
+            if rank == 0:
+                comm.all_reduce([1])
+        """,
+        PARALLEL_PATH,
+    ),
+    "R2-rank-trip-count": (
+        "R2",
+        """
+        def drain(comm, group_rank):
+            for _ in range(group_rank):
+                comm.broadcast(0)
+        """,
+        "src/repro/train/snippet.py",
+    ),
+    "R3-global-state": (
+        "R3",
+        """
+        import numpy as np
+
+        def sample():
+            np.random.seed(0)
+        """,
+        EVAL_PATH,
+    ),
+    "R3-unseeded": (
+        "R3",
+        """
+        import numpy as np
+
+        def fresh():
+            return np.random.default_rng()
+        """,
+        EVAL_PATH,
+    ),
+    "R4-inexact-literal": (
+        "R4",
+        """
+        def check(score):
+            return score == 64.7
+        """,
+        EVAL_PATH,
+    ),
+    "R4-division": (
+        "R4",
+        """
+        def ratio(a, b, c):
+            return a / b != c
+        """,
+        EVAL_PATH,
+    ),
+    "R5-phantom-export": (
+        "R5",
+        """
+        __all__ = ["ghost"]
+        """,
+        EVAL_PATH,
+    ),
+    "R5-unlisted-def": (
+        "R5",
+        """
+        __all__ = []
+
+        def visible():
+            pass
+        """,
+        EVAL_PATH,
+    ),
+}
+
+#: clean counterparts: the same constructs used the sanctioned way
+CLEAN = {
+    "R1-rebind": (
+        """
+        import numpy as np
+
+        def extend(cache, k, v):
+            kp = cache.get("k")
+            if kp is not None:
+                k = np.concatenate([kp, k], axis=2)
+            cache["k"], cache["v"] = k, v
+        """,
+        MODEL_PATH,
+    ),
+    "R2-symmetric": (
+        """
+        def step(comm, n):
+            for _ in range(n):
+                comm.all_reduce([1])
+        """,
+        PARALLEL_PATH,
+    ),
+    "R2-outside-scope": (
+        """
+        def step(comm, rank):
+            if rank == 0:
+                comm.all_reduce([1])
+        """,
+        EVAL_PATH,
+    ),
+    "R3-seeded": (
+        """
+        import numpy as np
+
+        def sample(seed):
+            return np.random.default_rng(seed).normal()
+        """,
+        EVAL_PATH,
+    ),
+    "R4-dyadic-sentinel": (
+        """
+        def greedy(temperature, accuracy):
+            return temperature == 0.0 and accuracy == 1.0
+        """,
+        EVAL_PATH,
+    ),
+    "R5-consistent": (
+        """
+        from os import path
+
+        __all__ = ["path", "thing"]
+
+        def thing():
+            pass
+
+        def _helper():
+            pass
+        """,
+        EVAL_PATH,
+    ),
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("label", sorted(VIOLATIONS))
+    def test_fixture_triggers_exactly_its_rule(self, label):
+        rule, source, path = VIOLATIONS[label]
+        fired = rules_fired(source, path)
+        assert fired == [rule], f"{label}: expected [{rule}], got {fired}"
+
+    @pytest.mark.parametrize("label", sorted(CLEAN))
+    def test_clean_fixture_is_silent(self, label):
+        source, path = CLEAN[label]
+        assert rules_fired(source, path) == []
+
+    def test_every_rule_has_a_firing_fixture(self):
+        covered = {rule for rule, _, _ in VIOLATIONS.values()}
+        assert covered == {cls.code for cls in all_rules()}
+
+    def test_finding_carries_location_and_metadata(self):
+        findings = lint_source(
+            "def check(s):\n    return s == 64.7\n", EVAL_PATH
+        )
+        (finding,) = findings
+        assert finding.rule == "R4"
+        assert finding.name == "float-equality"
+        assert finding.severity is Severity.ERROR
+        assert (finding.line, finding.path) == (2, EVAL_PATH)
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_own_line(self):
+        src = "def f(s):\n    return s == 64.7  # lint: disable=R4 (exact)\n"
+        assert lint_source(src, EVAL_PATH) == []
+
+    def test_standalone_comment_suppresses_next_line(self):
+        src = (
+            "def f(s):\n"
+            "    # lint: disable=float-equality (bit-identity by construction)\n"
+            "    return s == 64.7\n"
+        )
+        assert lint_source(src, EVAL_PATH) == []
+
+    def test_suppression_is_line_scoped(self):
+        src = (
+            "def f(s, t):\n"
+            "    a = s == 64.7  # lint: disable=R4 (exact)\n"
+            "    return t == 64.7\n"
+        )
+        findings = lint_source(src, EVAL_PATH)
+        assert [f.line for f in findings] == [3]
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = "def f(s):\n    return s == 64.7  # lint: disable=R1 (nope)\n"
+        assert [f.rule for f in lint_source(src, EVAL_PATH)] == ["R4"]
+
+    def test_file_wide_directive(self):
+        src = (
+            "# lint: disable-file=R4 (golden comparisons throughout)\n"
+            "def f(s, t):\n"
+            "    return s == 64.7 or t == 0.1\n"
+        )
+        assert lint_source(src, EVAL_PATH) == []
+
+    def test_disable_all(self):
+        src = "def f(s):\n    return s == 64.7  # lint: disable=all (fixture)\n"
+        assert lint_source(src, EVAL_PATH) == []
+
+    def test_directive_inside_string_is_inert(self):
+        src = (
+            'MSG = "# lint: disable-file=R4 (not a comment)"\n'
+            "def f(s):\n"
+            "    return s == 64.7\n"
+        )
+        assert [f.rule for f in lint_source(src, EVAL_PATH)] == ["R4"]
+
+
+class TestConfig:
+    def test_select_narrows_rules(self):
+        rule, source, path = VIOLATIONS["R3-global-state"]
+        config = LintConfig(select={"R4"})
+        assert rules_fired(source, path, config) == []
+
+    def test_disable_drops_rule(self):
+        rule, source, path = VIOLATIONS["R4-inexact-literal"]
+        config = LintConfig(disable={"R4"})
+        assert rules_fired(source, path, config) == []
+
+    def test_severity_override(self):
+        rule, source, path = VIOLATIONS["R4-inexact-literal"]
+        config = LintConfig(severity_overrides={"R4": Severity.INFO})
+        findings = lint_source(textwrap.dedent(source), path, config)
+        assert [f.severity for f in findings] == [Severity.INFO]
+
+    def test_rule_options_merge(self):
+        source = (
+            "def f(comm, rank):\n"
+            "    if rank == 0:\n"
+            "        comm.all_reduce([1])\n"
+        )
+        config = LintConfig(rule_options={"R2": {"path_fragments": []}})
+        fired = [f.rule for f in lint_source(source, EVAL_PATH, config)]
+        assert fired == ["R2"]  # empty fragment list = apply everywhere
+
+    def test_unknown_rule_identifier_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig.from_cli(select=["R99"])
+
+
+class TestReporters:
+    SRC = "def f(s):\n    return s == 64.7\n"
+
+    def _result(self, tmp_path):
+        target = tmp_path / "eval"
+        target.mkdir()
+        (target / "mod.py").write_text(self.SRC)
+        return run_lint([str(target)])
+
+    def test_json_reporter_golden(self, tmp_path):
+        result = self._result(tmp_path)
+        payload = json.loads(json_report(result))
+        path = (tmp_path / "eval" / "mod.py").as_posix()
+        assert payload == {
+            "version": 1,
+            "files_checked": 1,
+            "findings": [
+                {
+                    "rule": "R4",
+                    "name": "float-equality",
+                    "severity": "error",
+                    "path": path,
+                    "line": 2,
+                    "col": 11,
+                    "message": (
+                        "float equality (== with inexact float literal 64.7); "
+                        "floating-point results are not stable under "
+                        "reassociation — compare with a tolerance"
+                    ),
+                }
+            ],
+            "summary": {"total": 1, "by_rule": {"R4": 1}},
+        }
+
+    def test_text_reporter_mentions_location_and_summary(self, tmp_path):
+        result = self._result(tmp_path)
+        report = text_report(result)
+        assert "mod.py:2:12: R4 [error]" in report
+        assert "1 finding (R4=1) in 1 files" in report
+
+    def test_clean_text_report(self):
+        result = run_lint([os.path.join(REPO_ROOT, "src", "repro", "utils")])
+        assert text_report(result).startswith("clean: 0 findings")
+
+
+class TestEngine:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = run_lint([str(bad)])
+        assert [f.rule for f in result.findings] == [PARSE_ERROR_RULE]
+        assert result.exit_code(Severity.WARNING) == 1
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint([os.path.join(REPO_ROOT, "no-such-dir")])
+
+    def test_findings_sorted_and_deterministic(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1 == 64.7\n")
+        (tmp_path / "a.py").write_text("__all__ = ['ghost']\ny = 2 != 0.1\n")
+        first = run_lint([str(tmp_path)])
+        second = run_lint([str(tmp_path)])
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+        assert [f.path.rsplit("/", 1)[-1] for f in first.findings] == [
+            "a.py",
+            "a.py",
+            "b.py",
+        ]
+
+
+class TestCleanRepo:
+    """The checked-in tree must satisfy its own invariants."""
+
+    def test_src_and_tests_lint_clean(self):
+        result = run_lint(
+            [os.path.join(REPO_ROOT, "src"), os.path.join(REPO_ROOT, "tests")]
+        )
+        assert result.findings == [], text_report(result)
+
+    def test_cli_exits_zero_on_src(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "tests"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean: 0 findings" in proc.stdout
+
+    def test_cli_fails_on_violation(self, tmp_path):
+        mod = tmp_path / "viol.py"
+        mod.write_text("def f(s):\n    return s == 64.7\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(mod)],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "R4" in proc.stdout
+
+    def test_cli_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--list-rules"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        for code in ("R1", "R2", "R3", "R4", "R5"):
+            assert code in proc.stdout
