@@ -1,0 +1,65 @@
+"""Fault exception taxonomy.
+
+These types are the *injected* faults of the simulated cluster.  The
+invariant (lint rule R6 ``fault-injection-registry``) is that nothing in
+``repro/parallel/`` or ``repro/train/`` raises them ad hoc: every raise
+flows through the :class:`~repro.faults.injector.FaultInjector`, which is
+the only component that consults a :class:`~repro.faults.plan.FaultPlan`.
+Detection errors — e.g. :class:`~repro.train.checkpointing.
+CheckpointIntegrityError`, raised when a loader finds a corrupt shard —
+are deliberately *not* part of this hierarchy: detecting a fault is the
+recovery layer's job, injecting one is the injector's.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultInjectionError",
+    "PreemptionError",
+    "TransientCollectiveError",
+    "FaultRecoveryExhausted",
+]
+
+
+class FaultInjectionError(Exception):
+    """Base class for every injected fault."""
+
+
+class PreemptionError(FaultInjectionError):
+    """The scheduler revoked the job's allocation at a step boundary.
+
+    Models a SLURM/LSF preemption signal on a shared leadership facility:
+    the process dies, and recovery means a fresh job that restores the
+    newest intact checkpoint.
+    """
+
+    def __init__(self, step: int, rank: int = 0) -> None:
+        super().__init__(f"rank {rank} preempted at step {step}")
+        self.step = step
+        self.rank = rank
+
+
+class TransientCollectiveError(FaultInjectionError):
+    """A collective operation failed transiently (flaky interconnect).
+
+    Retrying the *same* call eventually succeeds — collectives are pure
+    functions of their inputs, so a successful retry is bit-identical to
+    a run that never faulted.
+    """
+
+    def __init__(self, op: str, step: int, attempt: int) -> None:
+        super().__init__(
+            f"transient failure of {op}() at step {step} (attempt {attempt})"
+        )
+        self.op = op
+        self.step = step
+        self.attempt = attempt
+
+
+class FaultRecoveryExhausted(Exception):
+    """The recovery layer gave up (retry budget or restart budget spent).
+
+    Raised by :class:`~repro.faults.recovery.RecoveryManager`, not by the
+    injector: it signals that the configured policy could not absorb the
+    planned faults, which is itself an asserted behavior in the tests.
+    """

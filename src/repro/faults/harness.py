@@ -1,0 +1,330 @@
+"""Faultable training loops: DP, TP and pipeline adapters for recovery.
+
+Each adapter wraps one of the simulated distributed training paths behind
+the :class:`~repro.faults.recovery.FaultableLoop` protocol so a single
+:class:`~repro.faults.recovery.RecoveryManager` can drive any of them
+through a fault plan.  The adapters deliberately keep happy-path code in
+:mod:`repro.parallel` untouched — they only sequence existing phases
+(compute / norm / apply / save / load) and feed the injector's hooks.
+
+Shared contract (what makes faulted runs bit-identically recoverable):
+
+* ``build()`` reconstructs the exact initial state from the loop's seed;
+* the batch for optimizer step ``i`` is a pure function of ``(seed, i)``;
+* ``compute_step`` starts from zeroed gradients and mutates only
+  gradients, so it can be re-run after a transient fault or a discarded
+  spike;
+* collectives precede any parameter/optimizer mutation inside each phase,
+  so a phase interrupted by a collective fault left no partial update.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.transformer import TransformerLM
+from repro.parallel.collectives import Communicator
+from repro.parallel.data_parallel import DataParallelTrainer, DDPConfig
+from repro.parallel.mesh import DeviceMesh
+from repro.parallel.pipeline_parallel import PipelinedModel
+from repro.parallel.tensor_parallel import TensorParallelMLPTrainer
+from repro.train.checkpointing import (
+    load_state_arrays,
+    load_training_state,
+    save_state_arrays,
+    save_training_state,
+)
+from repro.train.optimizer import AdamW, clip_grad_norm
+from repro.utils.rng import new_rng
+
+
+def _tiny_model_config(vocab_size: int = 64) -> ModelConfig:
+    """Smallest config the differential matrix trains in a few seconds."""
+    return ModelConfig(
+        vocab_size=vocab_size,
+        d_model=16,
+        n_layers=2,
+        n_heads=2,
+        max_seq_len=32,
+    )
+
+
+def _token_batch(
+    seed: int, step: int, batch: int, seq: int, vocab: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic next-token batch for optimizer step ``step``."""
+    rng = new_rng(seed, "fault_batch", step)
+    tokens = rng.integers(0, vocab, size=(batch, seq + 1))
+    return tokens[:, :-1].copy(), tokens[:, 1:].copy()
+
+
+class DataParallelFaultLoop:
+    """DDP across ``world`` ranks behind the faultable-loop protocol."""
+
+    name = "dp"
+    checkpoint_target = "optimizer.npz"
+
+    def __init__(
+        self,
+        world: int = 2,
+        seed: int = 0,
+        batch_size: int = 4,
+        seq_len: int = 6,
+        config: Optional[DDPConfig] = None,
+    ) -> None:
+        if batch_size % world != 0:
+            raise ValueError("batch_size must be divisible by world")
+        self.world = world
+        self.seed = seed
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.model_config = _tiny_model_config()
+        self.config = config or DDPConfig(total_steps=64)
+        self.ddp: Optional[DataParallelTrainer] = None
+
+    def build(self) -> None:
+        mesh = DeviceMesh(1, self.world)
+        self.ddp = DataParallelTrainer(
+            mesh, self.model_config, self.config, seed=self.seed
+        )
+
+    def communicators(self) -> Sequence[Communicator]:
+        return [self.ddp.comm]
+
+    def gradient_shards(self) -> Sequence[dict]:
+        return [r.named_gradients() for r in self.ddp.replicas]
+
+    def compute_step(self, step: int) -> float:
+        x, t = _token_batch(
+            self.seed, step, self.batch_size, self.seq_len,
+            self.model_config.vocab_size,
+        )
+        return self.ddp.compute_gradients(x, t)
+
+    def grad_norm(self) -> float:
+        return self.ddp.grad_norm()
+
+    def apply_step(self, step: int) -> None:
+        self.ddp.apply_gradients()
+
+    def save(self, path: Path, step: int) -> None:
+        save_training_state(path, self.ddp.model, self.ddp.optimizers[0], step)
+
+    def load(self, path: Path) -> int:
+        meta = load_training_state(path, self.ddp.model, self.ddp.optimizers[0])
+        # Mirror the restored rank-0 state onto every other replica, exactly
+        # as real DDP re-broadcasts after restore.
+        state = self.ddp.model.state_copy()
+        lead = self.ddp.optimizers[0]
+        for replica, opt in zip(self.ddp.replicas[1:], self.ddp.optimizers[1:]):
+            replica.load_state(state)
+            for key in opt.m:
+                opt.m[key][...] = lead.m[key]
+                opt.v[key][...] = lead.v[key]
+            opt.step_count = lead.step_count
+        return int(meta["step"])
+
+    def fingerprint(self) -> Dict[str, np.ndarray]:
+        out = {k: v.copy() for k, v in self.ddp.model.named_parameters().items()}
+        lead = self.ddp.optimizers[0]
+        for key in lead.m:
+            out[f"m::{key}"] = lead.m[key].copy()
+            out[f"v::{key}"] = lead.v[key].copy()
+        out["step_count"] = np.array([lead.step_count])
+        return out
+
+
+class TensorParallelFaultLoop:
+    """Megatron-sharded MLP trainer behind the faultable-loop protocol."""
+
+    name = "tp"
+    checkpoint_target = "state.npz"
+
+    def __init__(
+        self,
+        tp: int = 2,
+        seed: int = 0,
+        batch_size: int = 4,
+        d_in: int = 6,
+        d_hidden: int = 8,
+        d_out: int = 4,
+        lr: float = 1e-2,
+    ) -> None:
+        self.tp = tp
+        self.seed = seed
+        self.batch_size = batch_size
+        self.dims = (d_in, d_hidden, d_out)
+        self.lr = lr
+        self.trainer: Optional[TensorParallelMLPTrainer] = None
+
+    def build(self) -> None:
+        mesh = DeviceMesh(1, self.tp)
+        comm = Communicator(mesh)
+        d_in, d_hidden, d_out = self.dims
+        self.trainer = TensorParallelMLPTrainer(
+            d_in, d_hidden, d_out, comm, seed=self.seed
+        )
+
+    def communicators(self) -> Sequence[Communicator]:
+        return [self.trainer.comm]
+
+    def gradient_shards(self) -> Sequence[dict]:
+        return self.trainer.shard_grads
+
+    def _batch(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
+        d_in, _, d_out = self.dims
+        rng = new_rng(self.seed, "fault_batch", step)
+        x = rng.standard_normal((self.batch_size, d_in))
+        target = rng.standard_normal((self.batch_size, d_out))
+        return x, target
+
+    def compute_step(self, step: int) -> float:
+        x, target = self._batch(step)
+        return self.trainer.compute_gradients(x, target)
+
+    def grad_norm(self) -> float:
+        return self.trainer.grad_norm()
+
+    def apply_step(self, step: int) -> None:
+        self.trainer.apply_gradients(self.lr)
+
+    def save(self, path: Path, step: int) -> None:
+        save_state_arrays(
+            path,
+            self.trainer.state_arrays(),
+            meta={"step": int(step), "step_count": int(self.trainer.step_count)},
+        )
+
+    def load(self, path: Path) -> int:
+        arrays, extra = load_state_arrays(path)
+        self.trainer.load_state_arrays(arrays, int(extra["step_count"]))
+        return int(extra["step"])
+
+    def fingerprint(self) -> Dict[str, np.ndarray]:
+        out = {k: v.copy() for k, v in self.trainer.state_arrays().items()}
+        out["step_count"] = np.array([self.trainer.step_count])
+        return out
+
+
+class PipelineFaultLoop:
+    """Two-stage (or deeper) pipeline executor behind the protocol.
+
+    Unlike :meth:`PipelinedModel.train_step`, stage-boundary activations
+    and gradients move through :meth:`Communicator.point_to_point`, which
+    is where the injector's transient/degraded-link faults live for the
+    pipeline mesh.  The arithmetic is unchanged — ``point_to_point``
+    returns a bit-exact copy — so the clean run still matches monolithic
+    training.
+    """
+
+    name = "pp"
+    checkpoint_target = "optimizer.npz"
+
+    def __init__(
+        self,
+        n_stages: int = 2,
+        seed: int = 0,
+        batch_size: int = 4,
+        seq_len: int = 6,
+        n_microbatches: int = 2,
+        lr: float = 1e-3,
+        clip_norm: float = 1.0,
+    ) -> None:
+        self.n_stages = n_stages
+        self.seed = seed
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.n_microbatches = n_microbatches
+        self.lr = lr
+        self.clip_norm = clip_norm
+        self.model_config = _tiny_model_config()
+        self.model: Optional[TransformerLM] = None
+        self.pipe: Optional[PipelinedModel] = None
+        self.optimizer: Optional[AdamW] = None
+        self.comm: Optional[Communicator] = None
+
+    def build(self) -> None:
+        self.model = TransformerLM(self.model_config, seed=self.seed)
+        self.pipe = PipelinedModel(self.model, self.n_stages)
+        self.optimizer = AdamW(
+            self.model.named_parameters(), self.model.named_gradients()
+        )
+        mesh = DeviceMesh(1, self.n_stages)
+        self.comm = Communicator(mesh)
+
+    def communicators(self) -> Sequence[Communicator]:
+        return [self.comm]
+
+    def gradient_shards(self) -> Sequence[dict]:
+        return [self.model.named_gradients()]
+
+    def compute_step(self, step: int) -> float:
+        x, t = _token_batch(
+            self.seed, step, self.batch_size, self.seq_len,
+            self.model_config.vocab_size,
+        )
+        self.model.zero_grad()
+        micro_in = np.split(x, self.n_microbatches)
+        micro_t = np.split(t, self.n_microbatches)
+        total_loss = 0.0
+        for mx, mt in zip(micro_in, micro_t):
+            act = mx
+            for s in range(self.n_stages):
+                if s > 0:
+                    act = self.comm.point_to_point(act, s - 1, s)
+                act = self.pipe._forward_stage(s, act)
+            loss, dlogits = self.model.cross_entropy(act, mt)
+            total_loss += loss / self.n_microbatches
+            grad = dlogits / self.n_microbatches
+            for s in reversed(range(self.n_stages)):
+                grad = self.pipe._backward_stage(s, grad)
+                if s > 0:
+                    grad = self.comm.point_to_point(grad, s, s - 1)
+        return float(total_loss)
+
+    def grad_norm(self) -> float:
+        total = 0.0
+        for g in self.model.named_gradients().values():
+            total += float(np.sum(g.astype(np.float64) ** 2))
+        return float(np.sqrt(total))
+
+    def apply_step(self, step: int) -> None:
+        clip_grad_norm(self.model.named_gradients(), self.clip_norm)
+        self.optimizer.step(self.lr)
+
+    def save(self, path: Path, step: int) -> None:
+        save_training_state(path, self.model, self.optimizer, step)
+
+    def load(self, path: Path) -> int:
+        meta = load_training_state(path, self.model, self.optimizer)
+        return int(meta["step"])
+
+    def fingerprint(self) -> Dict[str, np.ndarray]:
+        out = {k: v.copy() for k, v in self.model.named_parameters().items()}
+        for key in self.optimizer.m:
+            out[f"m::{key}"] = self.optimizer.m[key].copy()
+            out[f"v::{key}"] = self.optimizer.v[key].copy()
+        out["step_count"] = np.array([self.optimizer.step_count])
+        return out
+
+
+def run_clean(loop, total_steps: int) -> Tuple[List[float], Dict[str, np.ndarray]]:
+    """Uninterrupted reference run: no injector, no checkpoints.
+
+    Returns ``(losses, fingerprint)`` — the ground truth every
+    faulted-then-recovered run must match bit-for-bit.
+    """
+    loop.build()
+    losses: List[float] = []
+    for step in range(total_steps):
+        losses.append(float(loop.compute_step(step)))
+        loop.grad_norm()
+        loop.apply_step(step)
+    return losses, loop.fingerprint()
+
+
+ALL_LOOPS = (DataParallelFaultLoop, TensorParallelFaultLoop, PipelineFaultLoop)

@@ -5,6 +5,7 @@ from repro.lint.rules.collective_symmetry import CollectiveSymmetryRule
 from repro.lint.rules.rng_hygiene import RngHygieneRule
 from repro.lint.rules.float_equality import FloatEqualityRule
 from repro.lint.rules.export_drift import ExportDriftRule
+from repro.lint.rules.fault_registry import FaultRegistryRule
 
 __all__ = [
     "CacheMutationRule",
@@ -12,4 +13,5 @@ __all__ = [
     "RngHygieneRule",
     "FloatEqualityRule",
     "ExportDriftRule",
+    "FaultRegistryRule",
 ]

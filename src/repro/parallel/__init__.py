@@ -20,7 +20,12 @@ scaling benchmarks measure.
 """
 
 from repro.parallel.mesh import Device, DeviceMesh
-from repro.parallel.collectives import CollectiveStats, Communicator, RingCostModel
+from repro.parallel.collectives import (
+    CollectiveHook,
+    CollectiveStats,
+    Communicator,
+    RingCostModel,
+)
 from repro.parallel.data_parallel import DataParallelTrainer, DDPConfig, DDPResult
 from repro.parallel.pipeline_parallel import (
     PipelineOp,
@@ -32,6 +37,7 @@ from repro.parallel.pipeline_parallel import (
 from repro.parallel.tensor_parallel import (
     ColumnParallelLinear,
     RowParallelLinear,
+    TensorParallelMLPTrainer,
     mlp_tp_forward,
     tp_memory_per_rank,
 )
@@ -48,6 +54,7 @@ __all__ = [
     "Device",
     "DeviceMesh",
     "Communicator",
+    "CollectiveHook",
     "RingCostModel",
     "CollectiveStats",
     "DataParallelTrainer",
@@ -62,6 +69,7 @@ __all__ = [
     "zero1_memory_per_rank",
     "ColumnParallelLinear",
     "RowParallelLinear",
+    "TensorParallelMLPTrainer",
     "mlp_tp_forward",
     "tp_memory_per_rank",
     "GPUSpec",

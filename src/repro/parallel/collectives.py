@@ -28,6 +28,13 @@ from repro.parallel.mesh import DeviceMesh
 
 ReduceOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
+#: Pre-op hook signature: ``hook(op_name, nbytes) -> time_multiplier``.
+#: The hook runs *before* any arithmetic or ledger recording, so it may
+#: raise (fault injection) without leaving a half-recorded operation; the
+#: returned multiplier scales the simulated time of the op (degraded
+#: links).  ``None`` (the default) keeps the happy path branch-free.
+CollectiveHook = Callable[[str, int], float]
+
 _OPS = {
     "sum": np.add,
     "max": np.maximum,
@@ -108,12 +115,25 @@ class Communicator:
             mesh.device(r)  # validates
         self.cost_model = cost_model or RingCostModel()
         self.stats = CollectiveStats()
+        self.hook: Optional[CollectiveHook] = None
         nodes = {mesh.device(r).node for r in self.ranks}
         self._cross_node = len(nodes) > 1
 
     @property
     def size(self) -> int:
         return len(self.ranks)
+
+    def install_hook(self, hook: Optional[CollectiveHook]) -> Optional[CollectiveHook]:
+        """Install (or clear) the pre-op hook; returns the previous one."""
+        previous = self.hook
+        self.hook = hook
+        return previous
+
+    def _consult_hook(self, op: str, nbytes: int) -> float:
+        """Time multiplier from the hook; called before any computation."""
+        if self.hook is None:
+            return 1.0
+        return float(self.hook(op, nbytes))
 
     # ------------------------------------------------------------------
     def _check(self, buffers: Sequence[np.ndarray]) -> None:
@@ -135,6 +155,7 @@ class Communicator:
         ``op`` is ``sum`` | ``mean`` | ``max`` | ``min``.
         """
         self._check(buffers)
+        mult = self._consult_hook("all_reduce", int(buffers[0].nbytes))
         if op == "mean":
             reduced = np.sum(buffers, axis=0) / self.size
         elif op in _OPS:
@@ -145,16 +166,17 @@ class Communicator:
             raise ValueError(f"unknown reduce op {op!r}")
         nbytes = int(buffers[0].nbytes)
         t = self.cost_model.all_reduce_time(nbytes, self.size, self._cross_node)
-        self.stats.record("all_reduce", nbytes * self.size, t)
+        self.stats.record("all_reduce", nbytes * self.size, t * mult)
         return [reduced.copy() for _ in range(self.size)]
 
     def all_gather(self, buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Every rank receives the concatenation of all rank buffers (axis 0)."""
         self._check(buffers)
+        mult = self._consult_hook("all_gather", int(buffers[0].nbytes) * self.size)
         gathered = np.concatenate([np.atleast_1d(b) for b in buffers], axis=0)
         nbytes = int(gathered.nbytes)
         t = self.cost_model.all_gather_time(nbytes, self.size, self._cross_node)
-        self.stats.record("all_gather", nbytes * self.size, t)
+        self.stats.record("all_gather", nbytes * self.size, t * mult)
         return [gathered.copy() for _ in range(self.size)]
 
     def reduce_scatter(
@@ -165,6 +187,7 @@ class Communicator:
         The leading axis of each buffer must be divisible by the group size.
         """
         self._check(buffers)
+        mult = self._consult_hook("reduce_scatter", int(buffers[0].nbytes))
         first = buffers[0]
         if first.shape[0] % self.size != 0:
             raise ValueError(
@@ -182,7 +205,7 @@ class Communicator:
         shards = np.split(reduced, self.size, axis=0)
         nbytes = int(first.nbytes)
         t = self.cost_model.reduce_scatter_time(nbytes, self.size, self._cross_node)
-        self.stats.record("reduce_scatter", nbytes * self.size, t)
+        self.stats.record("reduce_scatter", nbytes * self.size, t * mult)
         return [s.copy() for s in shards]
 
     def broadcast(self, buffer: np.ndarray, root: int = 0) -> List[np.ndarray]:
@@ -190,11 +213,34 @@ class Communicator:
         if not 0 <= root < self.size:
             raise IndexError(f"root {root} out of group range")
         nbytes = int(buffer.nbytes)
+        mult = self._consult_hook("broadcast", nbytes)
         t = self.cost_model.broadcast_time(nbytes, self.size, self._cross_node)
-        self.stats.record("broadcast", nbytes * (self.size - 1), t)
+        self.stats.record("broadcast", nbytes * (self.size - 1), t * mult)
         return [buffer.copy() for _ in range(self.size)]
 
     def barrier(self) -> None:
         """Synchronization point: costs one zero-byte all-reduce."""
+        mult = self._consult_hook("barrier", 0)
         t = self.cost_model.all_reduce_time(0, self.size, self._cross_node)
-        self.stats.record("barrier", 0, t)
+        self.stats.record("barrier", 0, t * mult)
+
+    def point_to_point(
+        self, buffer: np.ndarray, src: int, dst: int
+    ) -> np.ndarray:
+        """Send ``buffer`` from group rank ``src`` to ``dst``; returns the
+        received copy.
+
+        The pipeline executor moves stage-boundary activations through this
+        primitive so that link faults and degraded bandwidth have a single
+        injection point; the cost model charges one latency + ``n/B``
+        message.
+        """
+        for r in (src, dst):
+            if not 0 <= r < self.size:
+                raise IndexError(f"rank {r} out of group range 0..{self.size - 1}")
+        nbytes = int(buffer.nbytes)
+        mult = self._consult_hook("point_to_point", nbytes)
+        cross = self.mesh.is_cross_node(self.ranks[src], self.ranks[dst])
+        t = self.cost_model.point_to_point_time(nbytes, cross)
+        self.stats.record("point_to_point", nbytes, t * mult)
+        return buffer.copy()

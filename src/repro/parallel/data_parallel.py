@@ -114,9 +114,15 @@ class DataParallelTrainer:
             )
         ]
 
-    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
-        """One synchronous DDP step on a global batch; returns mean loss."""
-        cfg = self.config
+    def compute_gradients(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Forward/backward on every shard + gradient all-reduce.
+
+        Leaves the mean gradient in every replica (unclipped) and returns
+        the mean loss.  Safe to re-run: it starts from ``zero_grad`` and
+        performs no optimizer update, which is what lets the recovery
+        layer discard an anomalous (fault-injected) gradient and recompute
+        the step exactly.
+        """
         shards = self.shard_batch(inputs, targets)
         losses = []
         flat_grads: List[np.ndarray] = []
@@ -128,17 +134,37 @@ class DataParallelTrainer:
                 np.concatenate([g.reshape(-1) for g in grads.values()])
             )
         reduced = self.comm.all_reduce(flat_grads, op="mean")
-        step_idx = self.optimizers[0].step_count
-        lr = self.schedule.lr(step_idx)
-        for replica, optimizer, flat in zip(self.replicas, self.optimizers, reduced):
+        for replica, flat in zip(self.replicas, reduced):
             grads = replica.named_gradients()
             offset = 0
             for g in grads.values():
                 g[...] = flat[offset : offset + g.size].reshape(g.shape)
                 offset += g.size
-            clip_grad_norm(grads, cfg.clip_norm)
-            optimizer.step(lr)
         return float(np.mean(losses))
+
+    def grad_norm(self) -> float:
+        """Global L2 norm of the (reduced, identical) rank-0 gradients."""
+        total = 0.0
+        for g in self.replicas[0].named_gradients().values():
+            total += float(np.sum(g.astype(np.float64) ** 2))
+        return float(np.sqrt(total))
+
+    def apply_gradients(self) -> float:
+        """Clip and apply the identical optimizer step on every replica;
+        returns the learning rate used."""
+        cfg = self.config
+        step_idx = self.optimizers[0].step_count
+        lr = self.schedule.lr(step_idx)
+        for replica, optimizer in zip(self.replicas, self.optimizers):
+            clip_grad_norm(replica.named_gradients(), cfg.clip_norm)
+            optimizer.step(lr)
+        return lr
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One synchronous DDP step on a global batch; returns mean loss."""
+        loss = self.compute_gradients(inputs, targets)
+        self.apply_gradients()
+        return loss
 
     def train(
         self, batches: Iterable[Tuple[np.ndarray, np.ndarray]]

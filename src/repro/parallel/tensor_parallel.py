@@ -24,11 +24,13 @@ simulated via the communicator's cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.parallel.collectives import Communicator
+from repro.train.optimizer import AdamW
+from repro.utils.rng import new_rng
 
 
 def shard_columns(weight: np.ndarray, parts: int) -> List[np.ndarray]:
@@ -117,6 +119,138 @@ def mlp_tp_forward(
     if activation is not None:
         hidden_shards = [activation(h) for h in hidden_shards]
     return row.forward_from_sharded(hidden_shards)
+
+
+class TensorParallelMLPTrainer:
+    """Trains the canonical TP MLP (``relu(x W_up) W_down``) end to end.
+
+    The forward is :func:`mlp_tp_forward`'s sharding with an exact analytic
+    backward: every rank holds one column shard of ``W_up`` and the
+    matching row shard of ``W_down`` plus its own AdamW moment shards.
+    Two collectives sit in the numeric path — the all-reduce of output
+    partials in the forward, and the all-reduce of per-rank squared
+    gradient sums that produces the *global* clip norm — which is exactly
+    where the fault injector hooks transient collective failures.
+
+    Gradients (MSE loss, mean over elements)::
+
+        h_r = x @ Wup_r          a_r = relu(h_r)
+        y   = sum_r a_r @ Wdown_r                (all-reduce)
+        dWdown_r = a_r^T @ dy                    (local)
+        dh_r = (dy @ Wdown_r^T) * [h_r > 0]      (local)
+        dWup_r = x^T @ dh_r                      (local)
+    """
+
+    def __init__(
+        self,
+        d_in: int,
+        d_hidden: int,
+        d_out: int,
+        comm: Communicator,
+        seed: int = 0,
+        clip_norm: float = 1.0,
+        betas: Tuple[float, float] = (0.9, 0.95),
+        weight_decay: float = 0.0,
+    ) -> None:
+        if d_hidden % comm.size != 0:
+            raise ValueError(
+                f"d_hidden {d_hidden} not divisible by tp={comm.size}"
+            )
+        self.comm = comm
+        self.clip_norm = clip_norm
+        rng = new_rng(seed, "tp_mlp")
+        w_up = rng.standard_normal((d_in, d_hidden)) * (1.0 / np.sqrt(d_in))
+        w_down = rng.standard_normal((d_hidden, d_out)) * (1.0 / np.sqrt(d_hidden))
+        up_shards = shard_columns(w_up, comm.size)
+        down_shards = shard_rows(w_down, comm.size)
+        self.shard_params: List[Dict[str, np.ndarray]] = [
+            {"w_up": u, "w_down": d} for u, d in zip(up_shards, down_shards)
+        ]
+        self.shard_grads: List[Dict[str, np.ndarray]] = [
+            {k: np.zeros_like(v) for k, v in p.items()} for p in self.shard_params
+        ]
+        self.optimizers: List[AdamW] = [
+            AdamW(p, g, betas=betas, weight_decay=weight_decay)
+            for p, g in zip(self.shard_params, self.shard_grads)
+        ]
+        self._pre: List[np.ndarray] = []
+        self._act: List[np.ndarray] = []
+        self._x: Optional[np.ndarray] = None
+
+    @property
+    def step_count(self) -> int:
+        return self.optimizers[0].step_count
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Replicated output; one all-reduce of the rank partial products."""
+        self._x = x
+        self._pre = [x @ p["w_up"] for p in self.shard_params]
+        self._act = [np.maximum(h, 0.0) for h in self._pre]
+        partials = [a @ p["w_down"] for a, p in zip(self._act, self.shard_params)]
+        return self.comm.all_reduce(partials, "sum")[0]
+
+    def compute_gradients(self, x: np.ndarray, target: np.ndarray) -> float:
+        """MSE loss + exact sharded backward; grads left in the shards."""
+        y = self.forward(x)
+        diff = y - target
+        loss = float(np.mean(diff**2))
+        dy = 2.0 * diff / diff.size
+        for pre, act, params, grads in zip(
+            self._pre, self._act, self.shard_params, self.shard_grads
+        ):
+            grads["w_down"][...] = act.reshape(-1, act.shape[-1]).T @ dy.reshape(
+                -1, dy.shape[-1]
+            )
+            dh = (dy @ params["w_down"].T) * (pre > 0)
+            grads["w_up"][...] = x.reshape(-1, x.shape[-1]).T @ dh.reshape(
+                -1, dh.shape[-1]
+            )
+        return loss
+
+    def grad_norm(self) -> float:
+        """Global L2 norm over every shard (one scalar all-reduce)."""
+        sq_sums = [
+            np.array(
+                [sum(float(np.sum(g.astype(np.float64) ** 2)) for g in grads.values())]
+            )
+            for grads in self.shard_grads
+        ]
+        total = self.comm.all_reduce(sq_sums, "sum")[0]
+        return float(np.sqrt(total[0]))
+
+    def apply_gradients(self, lr: float) -> float:
+        """Global-norm clip then the per-shard AdamW step; returns the norm."""
+        norm = self.grad_norm()
+        if self.clip_norm > 0 and norm > self.clip_norm:
+            scale = self.clip_norm / (norm + 1e-12)
+            for grads in self.shard_grads:
+                for g in grads.values():
+                    g *= scale
+        for optimizer in self.optimizers:
+            optimizer.step(lr)
+        return norm
+
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Flat named-array snapshot: shard params + AdamW moments."""
+        out: Dict[str, np.ndarray] = {}
+        for r, (params, opt) in enumerate(zip(self.shard_params, self.optimizers)):
+            for key, arr in params.items():
+                out[f"rank{r}::param::{key}"] = arr
+            for key, arr in opt.m.items():
+                out[f"rank{r}::m::{key}"] = arr
+            for key, arr in opt.v.items():
+                out[f"rank{r}::v::{key}"] = arr
+        return out
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray], step_count: int) -> None:
+        """Restore a :meth:`state_arrays` snapshot bit-exactly."""
+        for r, (params, opt) in enumerate(zip(self.shard_params, self.optimizers)):
+            for key in params:
+                params[key][...] = arrays[f"rank{r}::param::{key}"]
+                opt.m[key][...] = arrays[f"rank{r}::m::{key}"]
+                opt.v[key][...] = arrays[f"rank{r}::v::{key}"]
+            opt.step_count = int(step_count)
 
 
 def attention_heads_tp_split(n_heads: int, parts: int) -> List[List[int]]:

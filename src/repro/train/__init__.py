@@ -27,7 +27,20 @@ from repro.train.dataloader import (
     pack_documents,
     pad_examples,
 )
-from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.train.trainer import Trainer, TrainerHooks, TrainingConfig, TrainingHistory
+from repro.train.checkpointing import (
+    CheckpointIntegrityError,
+    checkpoint_dir_for_step,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_state_arrays,
+    load_training_state,
+    save_state_arrays,
+    save_training_state,
+    set_post_save_hook,
+    verify_checkpoint,
+    write_manifest,
+)
 from repro.train.cpt import ContinualPretrainer, CPTConfig, CPTResult
 from repro.train.sft import (
     ChatTemplate,
@@ -52,8 +65,20 @@ __all__ = [
     "pack_documents",
     "pad_examples",
     "Trainer",
+    "TrainerHooks",
     "TrainingConfig",
     "TrainingHistory",
+    "CheckpointIntegrityError",
+    "checkpoint_dir_for_step",
+    "latest_valid_checkpoint",
+    "list_checkpoints",
+    "load_state_arrays",
+    "load_training_state",
+    "save_state_arrays",
+    "save_training_state",
+    "set_post_save_hook",
+    "verify_checkpoint",
+    "write_manifest",
     "ContinualPretrainer",
     "CPTConfig",
     "CPTResult",

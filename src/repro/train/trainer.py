@@ -74,6 +74,24 @@ class TrainingHistory:
         return float(np.mean(tail))
 
 
+class TrainerHooks:
+    """Optional observation/injection points around the step loop.
+
+    The fault injector (:mod:`repro.faults`) subclasses this to preempt a
+    run at a step boundary or perturb accumulated gradients; the default
+    implementations do nothing, so a hook-less trainer behaves exactly as
+    before.  ``on_step_start`` fires before any microbatch of the step;
+    ``on_gradients`` fires after accumulation, before clipping and the
+    optimizer update.
+    """
+
+    def on_step_start(self, step: int) -> None:  # pragma: no cover - trivial
+        return None
+
+    def on_gradients(self, step: int, grads: dict) -> None:  # pragma: no cover
+        return None
+
+
 class Trainer:
     """Runs a model over a batch stream for ``total_steps`` optimizer steps.
 
@@ -87,9 +105,11 @@ class Trainer:
         model: Module,
         config: TrainingConfig,
         step_callback: Optional[Callable[[int, float, float], None]] = None,
+        hooks: Optional[TrainerHooks] = None,
     ) -> None:
         self.model = model
         self.config = config
+        self.hooks = hooks
         self.schedule = make_schedule(
             config.schedule,
             config.learning_rate,
@@ -119,6 +139,8 @@ class Trainer:
         cfg = self.config
         iterator = iter(make_batches())
         for step in range(cfg.total_steps):
+            if self.hooks is not None:
+                self.hooks.on_step_start(step)
             self.model.zero_grad()
             accum_loss = 0.0
             tokens = 0
@@ -138,6 +160,8 @@ class Trainer:
                 else:
                     tokens += int(np.asarray(mask).sum())
             grads = self.model.named_gradients()
+            if self.hooks is not None:
+                self.hooks.on_gradients(step, grads)
             norm = clip_grad_norm(grads, cfg.clip_norm)
             lr = self.schedule.lr(step)
             self.optimizer.step(lr)

@@ -1,0 +1,24 @@
+"""Shared pytest wiring: the tier marker taxonomy.
+
+Every test belongs to exactly one tier (see ``docs/testing.md``):
+
+* ``tier1`` — fast, deterministic; the blocking CI gate.  Applied
+  automatically to any test that doesn't opt into another tier, so new
+  tests are tier-1 by default and nothing silently falls out of CI;
+* ``slow`` — long-running end-to-end pipelines (opt-in, per module or
+  class);
+* ``faults`` — the fault-injection recovery matrix (opt-in).
+
+``--strict-markers`` (set in ``pyproject.toml``) turns marker typos into
+collection errors instead of silently-unselected tests.
+"""
+
+import pytest
+
+_EXPLICIT_TIERS = ("slow", "faults")
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if not any(item.get_closest_marker(name) for name in _EXPLICIT_TIERS):
+            item.add_marker(pytest.mark.tier1)

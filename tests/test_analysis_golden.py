@@ -1,0 +1,107 @@
+"""Golden regression tests pinning Table 1 / Figure 1 outputs.
+
+The surrogate-driven analysis artifacts are deterministic, so their full
+content is committed as JSON fixtures.  Any change to the surrogate
+calibration, the zoo, the arrow logic or the renderers shows up as a
+fixture diff that must be reviewed and regenerated deliberately:
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_analysis_golden.py
+
+Regenerating rewrites ``tests/fixtures/table1_golden.json`` and
+``tests/fixtures/figure1_golden.json``; commit the diff with the change
+that motivated it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    build_figure1,
+    render_figure1_ascii,
+    render_table_one_markdown,
+    table_one_from_surrogate,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TABLE1_GOLDEN = FIXTURES / "table1_golden.json"
+FIGURE1_GOLDEN = FIXTURES / "figure1_golden.json"
+
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDENS") == "1"
+
+
+def canonical_table1() -> dict:
+    table = table_one_from_surrogate()
+    return {
+        "rows": table.rows(),
+        "markdown": render_table_one_markdown(table),
+    }
+
+
+def canonical_figure1() -> dict:
+    fig = build_figure1(table_one_from_surrogate())
+    return {
+        "points": fig.points,
+        "baselines": fig.baselines,
+        "series": fig.series,
+        "score_range": list(fig.score_range()),
+        "ascii": render_figure1_ascii(fig),
+    }
+
+
+def _roundtrip(payload: dict) -> dict:
+    """Normalize through JSON so tuples/ints compare like the fixture."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def _check_or_update(path: Path, payload: dict) -> None:
+    payload = _roundtrip(payload)
+    if UPDATE:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        "REPRO_UPDATE_GOLDENS=1 pytest tests/test_analysis_golden.py"
+    )
+    golden = json.loads(path.read_text())
+    assert payload == golden, (
+        f"{path.name} drifted from the committed golden — if the change is "
+        "intentional, regenerate with REPRO_UPDATE_GOLDENS=1 and commit"
+    )
+
+
+class TestTableOneGolden:
+    def test_table1_matches_golden(self):
+        _check_or_update(TABLE1_GOLDEN, canonical_table1())
+
+    def test_golden_has_all_zoo_rows(self):
+        golden = json.loads(TABLE1_GOLDEN.read_text())
+        current = _roundtrip(canonical_table1())
+        assert [r["model"] for r in golden["rows"]] == [
+            r["model"] for r in current["rows"]
+        ]
+
+    def test_markdown_renders_every_row(self):
+        golden = json.loads(TABLE1_GOLDEN.read_text())
+        lines = golden["markdown"].splitlines()
+        assert len(lines) == 2 + len(golden["rows"])  # header + sep + rows
+
+
+class TestFigureOneGolden:
+    def test_figure1_matches_golden(self):
+        _check_or_update(FIGURE1_GOLDEN, canonical_figure1())
+
+    def test_baselines_come_from_native_models(self):
+        golden = json.loads(FIGURE1_GOLDEN.read_text())
+        assert set(golden["baselines"]) <= set(golden["series"])
+        lo, hi = golden["score_range"]
+        assert lo < hi
+
+    def test_every_series_model_has_points(self):
+        golden = json.loads(FIGURE1_GOLDEN.read_text())
+        for models in golden["series"].values():
+            for name in models:
+                assert name in golden["points"]

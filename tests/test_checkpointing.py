@@ -1,11 +1,22 @@
-"""Resume-exactness tests for training-state checkpoints."""
+"""Resume-exactness and integrity tests for training-state checkpoints."""
 
 import numpy as np
 import pytest
 
 from repro.model import ModelConfig, TransformerLM
 from repro.train import AdamW, Trainer, TrainingConfig
-from repro.train.checkpointing import load_training_state, save_training_state
+from repro.train.checkpointing import (
+    CheckpointIntegrityError,
+    checkpoint_dir_for_step,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_state_arrays,
+    load_training_state,
+    save_state_arrays,
+    save_training_state,
+    set_post_save_hook,
+    verify_checkpoint,
+)
 
 
 def make_model(seed=0):
@@ -99,3 +110,109 @@ class TestResumeExactness:
         meta_path.write_text(json.dumps(meta))
         with pytest.raises(ValueError):
             load_training_state(tmp_path / "c", m, opt)
+
+
+class TestManifestIntegrity:
+    """SHA-256 manifests: corrupt shards are detected before loading."""
+
+    def _snapshot(self, tmp_path, name="c", step=0):
+        m = make_model()
+        opt = AdamW(m.named_parameters(), m.named_gradients())
+        run_steps(m, opt, batches(2))
+        save_training_state(tmp_path / name, m, opt, step=step)
+        return tmp_path / name, m, opt
+
+    def test_intact_snapshot_verifies_clean(self, tmp_path):
+        path, _, _ = self._snapshot(tmp_path)
+        assert (path / "manifest.json").exists()
+        assert verify_checkpoint(path) == []
+
+    def test_flipped_byte_detected_and_load_refused(self, tmp_path):
+        path, m, opt = self._snapshot(tmp_path)
+        shard = path / "optimizer.npz"
+        data = bytearray(shard.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        assert verify_checkpoint(path) == ["optimizer.npz"]
+        with pytest.raises(CheckpointIntegrityError):
+            load_training_state(path, m, opt)
+
+    def test_truncated_shard_detected(self, tmp_path):
+        path, _, _ = self._snapshot(tmp_path)
+        shard = path / "model.npz"
+        shard.write_bytes(shard.read_bytes()[:-16])
+        assert verify_checkpoint(path) == ["model.npz"]
+
+    def test_missing_file_counts_as_corrupt(self, tmp_path):
+        path, _, _ = self._snapshot(tmp_path)
+        (path / "meta.json").unlink()
+        assert "meta.json" in verify_checkpoint(path)
+
+    def test_pre_manifest_snapshot_verifies_trivially(self, tmp_path):
+        path, _, _ = self._snapshot(tmp_path)
+        (path / "manifest.json").unlink()
+        assert verify_checkpoint(path) == []
+
+    def test_post_save_hook_fires_and_restores(self, tmp_path):
+        calls = []
+        previous = set_post_save_hook(lambda path, step: calls.append((path, step)))
+        try:
+            self._snapshot(tmp_path, step=7)
+        finally:
+            assert set_post_save_hook(previous) is not None
+        assert [(p.name, s) for p, s in calls] == [("c", 7)]
+
+    def test_state_arrays_roundtrip(self, tmp_path):
+        arrays = {
+            "rank0::w": np.arange(6.0).reshape(2, 3),
+            "rank1::w": np.full((2, 3), 0.5),
+        }
+        save_state_arrays(tmp_path / "s", arrays, meta={"step": 3})
+        loaded, extra = load_state_arrays(tmp_path / "s")
+        assert extra == {"step": 3}
+        for key, arr in arrays.items():
+            np.testing.assert_array_equal(loaded[key], arr)
+        shard = tmp_path / "s" / "state.npz"
+        shard.write_bytes(shard.read_bytes()[:-8])
+        with pytest.raises(CheckpointIntegrityError):
+            load_state_arrays(tmp_path / "s")
+
+
+class TestSnapshotDiscovery:
+    """step-NNNNNNNN directory layout + newest-intact fallback walk."""
+
+    def _write_snapshots(self, root, steps):
+        m = make_model()
+        opt = AdamW(m.named_parameters(), m.named_gradients())
+        for step in steps:
+            save_training_state(checkpoint_dir_for_step(root, step), m, opt, step=step)
+
+    def test_list_checkpoints_sorted_and_filtered(self, tmp_path):
+        self._write_snapshots(tmp_path, [4, 0, 2])
+        (tmp_path / "not-a-snapshot").mkdir()
+        assert [s for s, _ in list_checkpoints(tmp_path)] == [0, 2, 4]
+
+    def test_latest_valid_prefers_newest(self, tmp_path):
+        self._write_snapshots(tmp_path, [0, 2, 4])
+        step, path, skipped = latest_valid_checkpoint(tmp_path)
+        assert step == 4
+        assert path.name == "step-00000004"
+        assert skipped == []
+
+    def test_latest_valid_skips_corrupt_newest(self, tmp_path):
+        self._write_snapshots(tmp_path, [0, 2, 4])
+        shard = checkpoint_dir_for_step(tmp_path, 4) / "optimizer.npz"
+        data = bytearray(shard.read_bytes())
+        data[0] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        step, path, skipped = latest_valid_checkpoint(tmp_path)
+        assert step == 2
+        assert [s for s, _ in skipped] == [4]
+
+    def test_latest_valid_none_when_all_corrupt(self, tmp_path):
+        self._write_snapshots(tmp_path, [0])
+        (checkpoint_dir_for_step(tmp_path, 0) / "model.npz").unlink()
+        assert latest_valid_checkpoint(tmp_path) is None
+
+    def test_latest_valid_empty_root(self, tmp_path):
+        assert latest_valid_checkpoint(tmp_path / "nowhere") is None

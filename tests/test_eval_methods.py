@@ -404,3 +404,137 @@ class TestFullInstructPrefixReuse:
         # the scaffold cache was built exactly once and then re-hit
         assert len(warm._prefix_store) == 1
         assert warm._prefix_store.hits == len(questions) - 1
+
+
+class BoundaryMergingTokenizer:
+    """Word tokenizer wrapper that merges chosen adjacent token pairs.
+
+    Emulates a BPE whose learned merges cross the ``Answer :`` boundary
+    (e.g. the trailing few-shot answer letter fusing with the next
+    question's first word, or ``:`` fusing with the answer letter).  Such
+    merges mean ``encode(scaffold) + encode(suffix)`` is NOT the encoding
+    of the concatenated prompt, so the batched evaluator must detect the
+    mismatch and fall back to the exact longest-common-prefix split.
+    """
+
+    def __init__(self, base, pairs):
+        self.base = base
+        self.vocab = base.vocab  # predict_many reads .vocab.pad_id
+        self._pair_to_id = {}
+        self._id_to_pair = {}
+        next_id = len(base.vocab)
+        for a, b in pairs:
+            key = (base.vocab.strict_id_of(a), base.vocab.strict_id_of(b))
+            self._pair_to_id[key] = next_id
+            self._id_to_pair[next_id] = key
+            next_id += 1
+
+    @property
+    def vocab_size(self):
+        return len(self.base.vocab) + len(self._pair_to_id)
+
+    def encode(self, text, **kwargs):
+        ids = self.base.encode(text, **kwargs)
+        out = []
+        i = 0
+        while i < len(ids):
+            if i + 1 < len(ids) and (ids[i], ids[i + 1]) in self._pair_to_id:
+                out.append(self._pair_to_id[(ids[i], ids[i + 1])])
+                i += 2
+            else:
+                out.append(ids[i])
+                i += 1
+        return out
+
+    def decode(self, ids, **kwargs):
+        expanded = []
+        for idx in ids:
+            pair = self._id_to_pair.get(int(idx))
+            if pair is not None:
+                expanded.extend(pair)
+            else:
+                expanded.append(int(idx))
+        return self.base.decode(expanded, **kwargs)
+
+    def answer_token_candidates(self, letter):
+        return self.base.answer_token_candidates(letter)
+
+    def token_ids_for_answer_letter(self, letter):
+        return self.base.token_ids_for_answer_letter(letter)
+
+
+class TestBoundaryMergingDifferential:
+    """predict_many must equal per-question predict even when answer
+    tokens merge across the Answer:/question boundary."""
+
+    def _evaluator(self, tok, bench, seed):
+        few_shot = bench.few_shot(2)
+        longest = max(
+            len(tok.encode(format_next_token_prompt(q, few_shot)))
+            for q in bench.test
+        )
+        model = TransformerLM(
+            ModelConfig(
+                vocab_size=tok.vocab_size, d_model=32, n_layers=2, n_heads=4,
+                max_seq_len=longest + 8,
+            ),
+            seed=seed,
+        )
+        from repro.eval.token_pred import AnswerTokenMap
+
+        answer_map = AnswerTokenMap(
+            ids={l: tok.vocab.strict_id_of(l) for l in "ABCD"},
+            convention="bare",
+        )
+        return TokenPredictionEvaluator(
+            model, tok, few_shot, answer_map=answer_map, batch_size=5
+        )
+
+    def test_merge_across_scaffold_suffix_boundary(self, astro, bench):
+        base = make_tokenizer(astro, False)
+        last_letter = bench.few_shot(2)[-1].correct_letter
+        # the final few-shot answer letter fuses with the next question's
+        # first word — exactly the scaffold/suffix seam
+        tok = BoundaryMergingTokenizer(base, [(last_letter, "Question")])
+        evaluator = self._evaluator(tok, bench, seed=21)
+
+        from repro.eval.prompts import (
+            format_next_token_scaffold,
+            format_next_token_suffix,
+        )
+
+        scaffold_ids = tok.encode(format_next_token_scaffold(bench.few_shot(2)))
+        suffix_ids = tok.encode(format_next_token_suffix(bench.test[0]))
+        full_ids = evaluator._prompt_ids(bench.test[0])
+        assert scaffold_ids + suffix_ids != full_ids  # seam really merged
+
+        sequential = [evaluator.predict(q) for q in bench.test]
+        assert evaluator.predict_many(bench.test) == sequential
+
+    def test_merge_of_colon_and_answer_letter(self, astro, bench):
+        base = make_tokenizer(astro, False)
+        # ":" fuses with every answer letter, changing the scaffold's
+        # solved blocks (fast path stays valid: merges are seam-local)
+        tok = BoundaryMergingTokenizer(base, [(":", l) for l in "ABCD"])
+        evaluator = self._evaluator(tok, bench, seed=22)
+        assert tok.encode("Answer : A") != base.encode("Answer : A")
+
+        sequential = [evaluator.predict(q) for q in bench.test]
+        assert evaluator.predict_many(bench.test) == sequential
+
+    def test_space_prefix_convention_differential(self, astro, bench):
+        # the built-in marker convention also breaks concat-stability at
+        # the seam; the fallback split must stay bit-compatible
+        tok = make_tokenizer(astro, True)
+        model = make_real_model(tok, bench, seed=23)
+        from repro.eval.token_pred import AnswerTokenMap
+
+        answer_map = AnswerTokenMap(
+            ids={l: tok.vocab.strict_id_of("Ġ" + l) for l in "ABCD"},
+            convention="space-prefixed",
+        )
+        evaluator = TokenPredictionEvaluator(
+            model, tok, bench.few_shot(2), answer_map=answer_map, batch_size=4
+        )
+        sequential = [evaluator.predict(q) for q in bench.test]
+        assert evaluator.predict_many(bench.test) == sequential

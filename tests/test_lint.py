@@ -150,6 +150,24 @@ VIOLATIONS = {
         """,
         EVAL_PATH,
     ),
+    "R6-adhoc-raise": (
+        "R6",
+        """
+        from repro.faults import TransientCollectiveError
+
+        def all_reduce_with_chaos(buffers, step):
+            raise TransientCollectiveError("all_reduce", step, 1)
+        """,
+        PARALLEL_PATH,
+    ),
+    "R6-bare-reraise-type": (
+        "R6",
+        """
+        def preempt(step, world_rank):
+            raise PreemptionError(step, world_rank)
+        """,
+        "src/repro/train/snippet.py",
+    ),
 }
 
 #: clean counterparts: the same constructs used the sanctioned way
@@ -211,6 +229,26 @@ CLEAN = {
             pass
         """,
         EVAL_PATH,
+    ),
+    "R6-registry-itself": (
+        """
+        def on_step_start(self, step):
+            for event in self._preemptions_at(step):
+                raise PreemptionError(step, event.rank)
+        """,
+        "src/repro/faults/snippet.py",
+    ),
+    "R6-hook-dispatch": (
+        """
+        def _pre_op(self, op, buffers):
+            factor = 1.0
+            for hook in self._hooks:
+                factor *= hook(op, self._op_counter)
+            if not buffers:
+                raise ValueError("empty collective")
+            return factor
+        """,
+        PARALLEL_PATH,
     ),
 }
 
@@ -435,5 +473,5 @@ class TestCleanRepo:
             text=True,
         )
         assert proc.returncode == 0
-        for code in ("R1", "R2", "R3", "R4", "R5"):
+        for code in ("R1", "R2", "R3", "R4", "R5", "R6"):
             assert code in proc.stdout

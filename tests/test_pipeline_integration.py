@@ -14,6 +14,8 @@ from repro.core import AstroLLaMAPipeline, PipelineConfig, get_entry
 from repro.core.pretrain import BasePretrainConfig
 from repro.core.world import MicroWorld
 
+pytestmark = pytest.mark.slow  # real training runs: scheduled CI job only
+
 
 @pytest.fixture(scope="module")
 def world():

@@ -11,6 +11,8 @@ from repro.tokenizer import WordTokenizer
 from repro.train import Trainer, TrainingConfig, PackedDataset, pack_documents
 from repro.utils.rng import new_rng
 
+pytestmark = pytest.mark.slow  # every test trains the module-scoped toy
+
 
 @pytest.fixture(scope="module")
 def trained():
