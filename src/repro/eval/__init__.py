@@ -35,6 +35,7 @@ from repro.eval.runner import (
     EvaluationRunner,
     assemble_result,
 )
+from repro.eval.serving import ServingEvaluationRunner
 from repro.eval.probes import circuit_quality, knowledge_recall
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "BatchedEvaluationRunner",
     "EvaluationResult",
     "assemble_result",
+    "ServingEvaluationRunner",
     "knowledge_recall",
     "circuit_quality",
 ]

@@ -1,0 +1,172 @@
+"""Benchmark evaluation replayed through the serving engine.
+
+:class:`ServingEvaluationRunner` maps the paper's three benchmarking
+methodologies onto serving request kinds and pushes the whole question
+set through a :class:`~repro.serve.engine.ServeEngine`:
+
+* **full-instruct** (method 1) → ``GENERATE`` requests carrying the
+  evaluator's :class:`~repro.model.sampling.GenerationConfig`; the
+  decoded responses run through the same two-stage answer parser;
+* **next-token, base and instruct** (methods 2/3) → ``SCORE`` requests;
+  the final-position logits are restricted to the discovered
+  answer-letter ids and argmaxed.
+
+The contract (asserted by ``tests/test_serve_eval.py``): predictions are
+**identical** to :class:`~repro.eval.runner.BatchedEvaluationRunner` —
+continuous batching, prefix reuse, and admission-queue backpressure are
+throughput devices, never accuracy devices.  Submission applies honest
+backpressure: when the bounded queue refuses a question, the runner
+steps the engine until it is accepted (the benchmark client is just
+another well-behaved client).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.full_instruct import FullInstructRecord
+from repro.eval.parsing import parse_model_answer
+from repro.eval.runner import EvaluationResult, EvaluationRunner, assemble_result
+from repro.mcq.generation import MCQuestion
+from repro.serve.admission import QueueFullError
+from repro.serve.clock import Clock
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.request import InferenceRequest, RequestKind, RequestStatus
+from repro.serve.scheduler import SchedulerConfig
+
+__all__ = ["ServingEvaluationRunner"]
+
+
+class ServingEvaluationRunner(EvaluationRunner):
+    """Evaluation runner whose backend is the continuous-batching engine.
+
+    ``run`` dispatches on the evaluator: a
+    :class:`~repro.eval.token_pred.TokenPredictionEvaluator` becomes a
+    ``SCORE`` workload, a
+    :class:`~repro.eval.full_instruct.FullInstructEvaluator` becomes a
+    ``GENERATE`` workload.  The engine used for the last ``run`` is kept
+    on ``last_engine`` so callers can inspect serving metrics (prefix
+    hits, decode steps, queue depths) alongside accuracy.
+    """
+
+    def __init__(
+        self,
+        benchmark,
+        max_questions: Optional[int] = None,
+        config: Optional[ServeConfig] = None,
+        clock: Optional[Clock] = None,
+        fault_hook=None,
+    ) -> None:
+        super().__init__(benchmark, max_questions)
+        self.config = config
+        self.clock = clock
+        self.fault_hook = fault_hook
+        self.last_engine: Optional[ServeEngine] = None
+
+    # ------------------------------------------------------------------
+    def _engine(self, model) -> ServeEngine:
+        config = self.config
+        if config is None:
+            # every single request (prompt + decode budget <= max_seq_len)
+            # must fit, with room for a real batch of them
+            budget = max(2048, 4 * model.config.max_seq_len)
+            config = ServeConfig(scheduler=SchedulerConfig(token_budget=budget))
+        engine = ServeEngine(
+            model, config=config, clock=self.clock, fault_hook=self.fault_hook
+        )
+        self.last_engine = engine
+        return engine
+
+    @staticmethod
+    def _submit_with_backpressure(
+        engine: ServeEngine, request: InferenceRequest
+    ) -> None:
+        while True:
+            try:
+                engine.submit(request)
+                return
+            except QueueFullError:
+                engine.step()
+
+    # ------------------------------------------------------------------
+    def run(self, evaluator, method: str, model_name: str) -> EvaluationResult:
+        questions = self._questions()
+        if hasattr(evaluator, "answer_map"):
+            predictions = self._run_token_pred(evaluator, questions)
+        elif hasattr(evaluator, "prompt_builder"):
+            predictions = self._run_full_instruct(evaluator, questions)
+        else:
+            raise TypeError(
+                "evaluator must be a TokenPredictionEvaluator or "
+                "FullInstructEvaluator, got "
+                f"{type(evaluator).__name__}"
+            )
+        return assemble_result(questions, predictions, method, model_name)
+
+    # -- methods 2/3: next-token scoring --------------------------------
+    def _run_token_pred(
+        self, evaluator, questions: Sequence[MCQuestion]
+    ) -> List[Optional[int]]:
+        engine = self._engine(evaluator.model)
+        ids: Dict[int, str] = {}
+        for i, question in enumerate(questions):
+            request_id = f"q-{i:05d}"
+            ids[i] = request_id
+            self._submit_with_backpressure(
+                engine,
+                InferenceRequest(
+                    request_id=request_id,
+                    prompt_ids=tuple(evaluator._prompt_ids(question)),
+                    kind=RequestKind.SCORE,
+                ),
+            )
+        engine.drain()
+        letter_ids = evaluator.answer_map.letter_ids()
+        predictions: List[Optional[int]] = []
+        for i in range(len(questions)):
+            state = engine.state_of(ids[i])
+            if state.status is not RequestStatus.FINISHED:
+                predictions.append(None)
+                continue
+            letter_logits = [state.final_logits[tid] for tid in letter_ids]
+            predictions.append(int(np.argmax(letter_logits)))
+        return predictions
+
+    # -- method 1: full-instruct generation ------------------------------
+    def _run_full_instruct(
+        self, evaluator, questions: Sequence[MCQuestion]
+    ) -> List[Optional[int]]:
+        engine = self._engine(evaluator.model)
+        ids: Dict[int, str] = {}
+        for i, question in enumerate(questions):
+            request_id = f"q-{i:05d}"
+            ids[i] = request_id
+            prompt = evaluator.prompt_builder(question)
+            prompt_ids = evaluator.prefix_ids + evaluator.tokenizer.encode(prompt)
+            self._submit_with_backpressure(
+                engine,
+                InferenceRequest(
+                    request_id=request_id,
+                    prompt_ids=tuple(prompt_ids),
+                    kind=RequestKind.GENERATE,
+                    generation=evaluator.generation,
+                ),
+            )
+        engine.drain()
+        predictions: List[Optional[int]] = []
+        for i, question in enumerate(questions):
+            state = engine.state_of(ids[i])
+            if state.status is not RequestStatus.FINISHED:
+                predictions.append(None)
+                continue
+            response = evaluator.tokenizer.decode(state.output_ids)
+            outcome = parse_model_answer(
+                response, question.options, evaluator.interpreter
+            )
+            evaluator.records.append(
+                FullInstructRecord(question.question_id, response, outcome)
+            )
+            predictions.append(outcome.answer_idx)
+        return predictions

@@ -51,6 +51,7 @@ from repro.faults.harness import (
     TensorParallelFaultLoop,
     run_clean,
 )
+from repro.faults.serve import SERVE_FAULT_KINDS, ServeFaultInjector
 
 __all__ = [
     "FaultInjectionError",
@@ -79,4 +80,6 @@ __all__ = [
     "PipelineFaultLoop",
     "ALL_LOOPS",
     "run_clean",
+    "SERVE_FAULT_KINDS",
+    "ServeFaultInjector",
 ]

@@ -1,0 +1,90 @@
+"""Scheduler-level fault injection for the serving engine.
+
+The serving analogue of :class:`~repro.faults.injector.FaultInjector`:
+a :class:`ServeFaultInjector` interprets a declarative
+:class:`~repro.faults.plan.FaultPlan` against *scheduler steps* instead
+of optimizer steps, producing the
+:class:`~repro.serve.scheduler.StepDirectives` the engine consumes:
+
+* ``preemption`` events evict the running request at index ``rank``
+  (admission order) back to the wait queue at step ``step`` — the
+  request restarts deterministically, so final outputs are unchanged;
+* ``degraded-link`` events multiply the virtual duration of every step
+  in their window by ``factor`` — latency only, never arithmetic.
+
+As with the trainer-side injector, ``(plan, plan.seed)`` is the complete
+replay key: events fire at most once, :meth:`reset` rewinds the fired
+state, and the ``injected`` record lets tests assert the same faults
+fired in the same order on replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.faults.plan import DEGRADED_LINK, PREEMPTION, FaultPlan
+from repro.serve.scheduler import StepDirectives
+
+__all__ = ["ServeFaultInjector", "SERVE_FAULT_KINDS"]
+
+#: fault classes meaningful at the serving scheduler
+SERVE_FAULT_KINDS = (PREEMPTION, DEGRADED_LINK)
+
+
+class ServeFaultInjector:
+    """Replayable interpreter of a :class:`FaultPlan` for serving.
+
+    Install by passing as ``fault_hook`` to
+    :class:`~repro.serve.engine.ServeEngine` (or ``simulate``); the
+    engine calls :meth:`on_step` once per scheduler iteration.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        unsupported = [
+            e.kind for e in plan.events if e.kind not in SERVE_FAULT_KINDS
+        ]
+        if unsupported:
+            raise ValueError(
+                f"serve scheduler cannot inject fault kinds {unsupported}; "
+                f"supported: {SERVE_FAULT_KINDS}"
+            )
+        self.plan = plan
+        self.seed = plan.seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind fired-state so the identical fault sequence replays."""
+        self._fired: set = set()
+        self.injected: List[Dict[str, object]] = []
+
+    def on_step(self, step: int) -> StepDirectives:
+        """Directives for scheduler step ``step`` (fires each event once)."""
+        preempt: List[int] = []
+        for i, event in enumerate(self.plan.events):
+            if (
+                event.kind == PREEMPTION
+                and event.step == step
+                and i not in self._fired
+            ):
+                self._fired.add(i)
+                preempt.append(event.rank)
+                self.injected.append(
+                    {"kind": event.kind, "step": step, "rank": event.rank}
+                )
+        factor = 1.0
+        for event in self.plan.events_of_kind(DEGRADED_LINK):
+            if event.step <= step < event.step + event.duration:
+                factor *= event.factor
+                key = ("degraded", event.step, event.duration)
+                if key not in self._fired:
+                    self._fired.add(key)
+                    self.injected.append(
+                        {
+                            "kind": event.kind,
+                            "step": event.step,
+                            "factor": event.factor,
+                        }
+                    )
+        return StepDirectives(
+            latency_factor=factor, preempt_ranks=tuple(preempt)
+        )

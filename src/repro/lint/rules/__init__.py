@@ -6,6 +6,7 @@ from repro.lint.rules.rng_hygiene import RngHygieneRule
 from repro.lint.rules.float_equality import FloatEqualityRule
 from repro.lint.rules.export_drift import ExportDriftRule
 from repro.lint.rules.fault_registry import FaultRegistryRule
+from repro.lint.rules.wall_clock import WallClockRule
 
 __all__ = [
     "CacheMutationRule",
@@ -14,4 +15,5 @@ __all__ = [
     "FloatEqualityRule",
     "ExportDriftRule",
     "FaultRegistryRule",
+    "WallClockRule",
 ]

@@ -161,6 +161,7 @@ class PrefixCacheStore:
         self._entries: List[PrefixCache] = []
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -184,7 +185,28 @@ class PrefixCacheStore:
         return best
 
     def put(self, prefix: PrefixCache) -> PrefixCache:
+        """Store ``prefix``, evicting the least recent entry if full.
+
+        An identical already-stored prefix (same token ids) is *deduped*:
+        the existing entry is refreshed to most-recent and returned, so a
+        re-put of a hot scaffold never evicts a distinct entry.
+        """
+        for entry in self._entries:
+            if entry.token_ids == prefix.token_ids:
+                self._entries.remove(entry)
+                self._entries.append(entry)
+                return entry
         self._entries.append(prefix)
         if len(self._entries) > self.max_entries:
             self._entries.pop(0)
+            self.evictions += 1
         return prefix
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (plain dict, e.g. for ``serve.metrics``)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -29,6 +29,7 @@ class GenerationConfig:
     max_new_tokens: int = 64
     temperature: float = 0.0
     top_k: int = 0  # 0 -> no truncation
+    top_p: float = 1.0  # 1.0 -> no nucleus truncation
     stop_token_ids: Sequence[int] = ()
     seed: int = 0
 
@@ -39,6 +40,8 @@ class GenerationConfig:
             raise ValueError("temperature must be >= 0")
         if self.top_k < 0:
             raise ValueError("top_k must be >= 0")
+        if not 0.0 < self.top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1]")
 
 
 def _select_token(
@@ -53,6 +56,19 @@ def _select_token(
         # deterministically toward lower token ids.
         order = np.lexsort((np.arange(scaled.shape[-1]), -scaled))
         kept = order[: config.top_k]
+        truncated = np.full_like(scaled, np.float32(-1e9))
+        truncated[kept] = scaled[kept]
+        scaled = truncated
+    if config.top_p < 1.0:
+        # Nucleus truncation with the same tie-breaking discipline as
+        # top_k: candidates are ranked (logit desc, index asc) and the
+        # smallest prefix whose probability mass reaches top_p survives,
+        # so tied logits at the nucleus boundary keep lower token ids.
+        order = np.lexsort((np.arange(scaled.shape[-1]), -scaled))
+        ranked = softmax(scaled[order][None, :])[0].astype(np.float64)
+        cumulative = np.cumsum(ranked)
+        cutoff = int(np.searchsorted(cumulative, config.top_p, side="left")) + 1
+        kept = order[: min(cutoff, order.size)]
         truncated = np.full_like(scaled, np.float32(-1e9))
         truncated[kept] = scaled[kept]
         scaled = truncated

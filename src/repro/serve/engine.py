@@ -1,0 +1,255 @@
+"""The user-facing serving engine: ``submit() / step() / drain()``.
+
+:class:`ServeEngine` composes the bounded admission queue, the
+continuous-batching scheduler, the prefix-cache store, metrics, and an
+injected clock into one loop:
+
+    engine = ServeEngine(model)
+    state = engine.submit(InferenceRequest("r1", prompt_ids))
+    while engine.has_work:
+        engine.step()
+    print(state.output_ids, engine.metrics.snapshot())
+
+With the default :class:`~repro.serve.clock.VirtualClock`, each step
+advances time by a deterministic modeled duration (``StepCostModel``,
+scaled by any fault-injected latency factor), so latency metrics and
+deadline behavior are bit-reproducible; pass
+:class:`~repro.serve.clock.WallClock` for live serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.model.kv_cache import PrefixCacheStore
+from repro.serve.admission import AdmissionQueue, OversizedRequestError, QueueFullError
+from repro.serve.clock import Clock, VirtualClock
+from repro.serve.metrics import ServeMetrics
+from repro.serve.request import (
+    InferenceRequest,
+    RequestKind,
+    RequestState,
+    RequestStatus,
+)
+from repro.serve.scheduler import (
+    ContinuousBatchingScheduler,
+    SchedulerConfig,
+    StepDirectives,
+)
+
+__all__ = ["StepCostModel", "ServeConfig", "ServeEngine"]
+
+
+@dataclass(frozen=True)
+class StepCostModel:
+    """Deterministic virtual duration of one engine step.
+
+    ``base`` models per-iteration launch overhead; prefilled prompt
+    tokens and decode rows add linear terms.  Purely a simulation
+    device — it never affects scheduling decisions' *order*, only the
+    virtual timestamps (and thus deadlines/latency histograms).
+    """
+
+    base: float = 1.0
+    per_prefill_token: float = 0.01
+    per_decode_row: float = 0.05
+
+    def duration(self, prefill_tokens: int, decode_rows: int) -> float:
+        return (
+            self.base
+            + self.per_prefill_token * prefill_tokens
+            + self.per_decode_row * decode_rows
+        )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine-level configuration (queue + scheduler + cost model)."""
+
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    queue_capacity: int = 64
+    queue_policy: str = "fifo"
+    service_time_hint: float = 1.0
+    step_cost: StepCostModel = field(default_factory=StepCostModel)
+
+
+class ServeEngine:
+    """Continuous-batching inference engine over one model.
+
+    ``submit`` applies admission control *immediately*: an oversized
+    request raises :class:`OversizedRequestError`, a full queue raises
+    :class:`QueueFullError` carrying a deterministic ``retry_after``
+    hint — overload is refused, never buffered unboundedly.  ``step``
+    runs one scheduler iteration; ``drain`` steps until idle.
+    """
+
+    def __init__(
+        self,
+        model,
+        config: Optional[ServeConfig] = None,
+        clock: Optional[Clock] = None,
+        prefix_store: Optional[PrefixCacheStore] = None,
+        metrics: Optional[ServeMetrics] = None,
+        fault_hook=None,
+    ) -> None:
+        self.model = model
+        self.config = config or ServeConfig()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.metrics = metrics or ServeMetrics()
+        self.queue = AdmissionQueue(
+            capacity=self.config.queue_capacity,
+            policy=self.config.queue_policy,
+            service_time_hint=self.config.service_time_hint,
+        )
+        self.scheduler = ContinuousBatchingScheduler(
+            model,
+            self.queue,
+            config=self.config.scheduler,
+            prefix_store=prefix_store,
+            metrics=self.metrics,
+        )
+        self.metrics.watch_store(self.scheduler.prefix_store)
+        self.fault_hook = fault_hook
+        self.states: Dict[str, RequestState] = {}
+        self._seq = 0
+        self._step_index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[tuple]:
+        """The scheduler's append-only event log (replay-comparable)."""
+        return self.scheduler.events
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.queue) or bool(self.scheduler.running)
+
+    def state_of(self, request_id: str) -> RequestState:
+        return self.states[request_id]
+
+    # ------------------------------------------------------------------
+    def _clamp_prompt(self, request: InferenceRequest) -> tuple:
+        """Left-truncate the prompt to the context window, exactly as
+        :func:`repro.model.sampling.generate` does, and return
+        ``(prompt, decode_budget)``."""
+        max_ctx = self.model.config.max_seq_len
+        if request.kind is RequestKind.SCORE:
+            budget = 0
+        else:
+            budget = min(request.generation.max_new_tokens, max(0, max_ctx - 1))
+        prompt = list(request.prompt_ids)
+        keep = max_ctx - budget
+        if budget > 0 and len(prompt) > keep:
+            prompt = prompt[-keep:]
+        elif budget == 0 and len(prompt) > max_ctx:
+            prompt = prompt[-max_ctx:]
+        return tuple(prompt), budget
+
+    def submit(self, request: InferenceRequest) -> RequestState:
+        """Admission-control a new request into the wait queue.
+
+        Raises :class:`OversizedRequestError` if the request can never
+        fit the scheduler's token budget, :class:`QueueFullError` (with
+        ``retry_after``) under overload, ``ValueError`` on a duplicate
+        request id.
+        """
+        if request.request_id in self.states:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        prompt, budget = self._clamp_prompt(request)
+        state = RequestState(
+            request=request,
+            submitted_at=self.clock.now(),
+            prompt=prompt,
+            budget=budget,
+            seq=self._seq,
+        )
+        needed = state.tokens_reserved()
+        if needed > self.config.scheduler.token_budget:
+            self.metrics.inc("rejected")
+            self.scheduler.events.append(
+                ("reject", self._step_index, request.request_id, "oversized")
+            )
+            raise OversizedRequestError(
+                request.request_id, needed, self.config.scheduler.token_budget
+            )
+        try:
+            self.queue.push(state)
+        except QueueFullError:
+            self.metrics.inc("rejected")
+            self.scheduler.events.append(
+                ("reject", self._step_index, request.request_id, "queue-full")
+            )
+            raise
+        self._seq += 1
+        self.states[request.request_id] = state
+        self.metrics.inc("submitted")
+        self.scheduler.events.append(
+            ("submit", self._step_index, request.request_id)
+        )
+        return state
+
+    def cancel(self, request_id: str) -> bool:
+        """Withdraw a *queued* request; running ones are not interrupted."""
+        state = self.states.get(request_id)
+        if state is None or state.status is not RequestStatus.QUEUED:
+            return False
+        if not self.queue.remove(state):
+            return False
+        state.status = RequestStatus.CANCELLED
+        state.finish_reason = "cancelled"
+        state.finished_at = self.clock.now()
+        self.scheduler.events.append(
+            ("cancel", self._step_index, request_id)
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    def step(self) -> List[tuple]:
+        """One scheduler iteration; returns the events it produced."""
+        step = self._step_index
+        directives = None
+        if self.fault_hook is not None:
+            directives = self.fault_hook.on_step(step)
+        before = len(self.scheduler.events)
+        self.metrics.queue_depth.observe(len(self.queue))
+        report = self.scheduler.step(step, self.clock.now(), directives)
+        # batch width = requests that touched the model this step
+        self.metrics.batch_size.observe(report.decode_rows + report.admitted)
+        self.metrics.inc("prefill_tokens", report.prefill_tokens)
+        self.metrics.inc("prefix_hit_tokens", report.prefix_hit_tokens)
+        if report.did_work:
+            self.metrics.inc("engine_steps")
+        if report.decode_rows > 0:
+            self.metrics.inc("decode_steps")
+        factor = directives.latency_factor if directives else 1.0
+        self.clock.advance(
+            self.config.step_cost.duration(
+                report.prefill_tokens, report.decode_rows
+            )
+            * factor
+        )
+        self._step_index += 1
+        return self.scheduler.events[before:]
+
+    def drain(self, max_steps: int = 100_000) -> List[RequestState]:
+        """Step until no queued or running work remains.
+
+        Returns every tracked request's state in submission order.  A
+        ``RuntimeError`` after ``max_steps`` flags a liveness bug rather
+        than hanging the caller.
+        """
+        steps = 0
+        while self.has_work:
+            if steps >= max_steps:
+                raise RuntimeError(
+                    f"engine failed to drain within {max_steps} steps "
+                    f"({len(self.queue)} queued, "
+                    f"{len(self.scheduler.running)} running)"
+                )
+            self.step()
+            steps += 1
+        return sorted(self.states.values(), key=lambda s: s.seq)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return self.metrics.snapshot()

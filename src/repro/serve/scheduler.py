@@ -1,0 +1,323 @@
+"""Iteration-level continuous-batching scheduler.
+
+Classic batch serving admits a fixed set of requests, runs them to
+completion, then admits the next set — long generations hold short ones
+hostage.  Continuous batching (Orca-style) re-forms the in-flight batch
+*every decode step*: finished requests leave immediately, waiting
+requests are admitted the moment their tokens fit, and a prefill rides
+alongside ongoing decodes.
+
+Invariants this scheduler maintains:
+
+* **token budget** — the sum of every running request's *reserved*
+  length (truncated prompt + decode budget) never exceeds
+  ``token_budget``, so admission can never strand a request mid-decode;
+* **head-of-line order** — admission pops the queue strictly in policy
+  order; the head blocks until it fits, so equal-priority requests are
+  FIFO and nothing is starved (every admitted request finishes within
+  its decode budget, freeing tokens for the head);
+* **prefix reuse** — admission routes through a
+  :class:`~repro.model.kv_cache.PrefixCacheStore`: prompts sharing the
+  MCQ scaffold fork a cached prefix instead of re-prefilling it;
+* **determinism** — no wall-clock reads (all time arrives as ``now``
+  arguments), no unseeded randomness; per-request decode streams come
+  from each request's own seeded generator, so outputs are independent
+  of batch composition and bit-equal to sequential
+  :func:`repro.model.sampling.generate`.
+
+Fault injection enters through :class:`StepDirectives` (produced by
+``repro.faults.serve.ServeFaultInjector`` from a ``FaultPlan``): a
+preempted request is evicted back to the queue and deterministically
+restarted, so a faulted run still produces identical final outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.kv_cache import PrefixCacheStore
+from repro.model.sampling import _select_token
+from repro.serve.admission import AdmissionQueue
+from repro.serve.metrics import ServeMetrics
+from repro.serve.request import RequestKind, RequestState, RequestStatus
+
+__all__ = ["SchedulerConfig", "StepDirectives", "StepReport", "ContinuousBatchingScheduler"]
+
+
+@dataclass(frozen=True)
+class StepDirectives:
+    """Per-step fault-injection directives (see ``repro.faults.serve``).
+
+    ``preempt_ranks`` indexes into the running batch (admission order);
+    out-of-range ranks are ignored, so a plan written for a busier run
+    replays harmlessly on a quieter one.  ``latency_factor`` scales the
+    step's modeled duration (degraded-link analogue) without touching
+    any arithmetic.
+    """
+
+    latency_factor: float = 1.0
+    preempt_ranks: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Continuous-batching knobs.
+
+    ``token_budget`` bounds the sum of reserved sequence lengths across
+    the in-flight batch (the KV-memory analogue); ``max_running`` bounds
+    batch width.  ``min_prefix_overlap`` is the shortest shared prefix
+    worth forking from the store.
+    """
+
+    token_budget: int = 2048
+    max_running: int = 8
+    min_prefix_overlap: int = 1
+    store_entries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.token_budget < 1:
+            raise ValueError("token_budget must be >= 1")
+        if self.max_running < 1:
+            raise ValueError("max_running must be >= 1")
+        if self.min_prefix_overlap < 1:
+            raise ValueError("min_prefix_overlap must be >= 1")
+
+
+@dataclass
+class StepReport:
+    """What one scheduler step did (the engine's cost-model input)."""
+
+    prefill_tokens: int = 0
+    prefix_hit_tokens: int = 0
+    decode_rows: int = 0
+    finished: int = 0
+    admitted: int = 0
+    preempted: int = 0
+    expired: int = 0
+
+    @property
+    def did_work(self) -> bool:
+        return (
+            self.prefill_tokens > 0
+            or self.decode_rows > 0
+            or self.finished > 0
+            or self.expired > 0
+            or self.preempted > 0
+        )
+
+
+class ContinuousBatchingScheduler:
+    """Admits, decodes, evicts — one iteration per :meth:`step` call.
+
+    The scheduler owns the running batch; the engine owns the clock, the
+    metrics, and the admission queue's backpressure contract.
+    """
+
+    def __init__(
+        self,
+        model,
+        queue: AdmissionQueue,
+        config: Optional[SchedulerConfig] = None,
+        prefix_store: Optional[PrefixCacheStore] = None,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self.model = model
+        self.queue = queue
+        self.config = config or SchedulerConfig()
+        self.prefix_store = prefix_store or PrefixCacheStore(
+            max_entries=self.config.store_entries
+        )
+        self.metrics = metrics or ServeMetrics()
+        self.running: List[RequestState] = []
+        self.events: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def reserved_tokens(self) -> int:
+        return sum(state.tokens_reserved() for state in self.running)
+
+    def _log(self, *event: object) -> None:
+        self.events.append(tuple(event))
+
+    # -- admission ------------------------------------------------------
+    def _fits(self, state: RequestState) -> bool:
+        return (
+            len(self.running) < self.config.max_running
+            and self.reserved_tokens() + state.tokens_reserved()
+            <= self.config.token_budget
+        )
+
+    def _start(self, state: RequestState, step: int, now: float) -> int:
+        """Prefill (via the prefix store) and move ``state`` to running.
+
+        Returns the number of prompt tokens actually forwarded.  The
+        forward sequence mirrors :func:`repro.model.sampling.generate`
+        exactly — fork the longest cached prefix, forward the remainder
+        (always at least the final prompt token for GENERATE, so step
+        logits come from a real forward) — which is what makes engine
+        outputs bit-equal to sequential generation.
+        """
+        prompt = list(state.prompt)
+        hit = self.prefix_store.match(
+            prompt, min_overlap=self.config.min_prefix_overlap
+        )
+        kind = state.request.kind
+        forwarded = 0
+        if hit is None:
+            prefix = self.prefix_store.put(self.model.prefill(prompt))
+            forwarded += len(prompt)
+            overlap = len(prompt)
+        else:
+            prefix, overlap = hit
+            state.prefix_hit_tokens = overlap
+
+        if kind is RequestKind.SCORE:
+            if overlap == len(prompt) and prefix.length == len(prompt):
+                # exact hit (or our own fresh prefill): boundary logits
+                # are already computed
+                state.final_logits = prefix.last_logits
+            else:
+                reused = min(overlap, len(prompt) - 1)
+                cache = prefix.fork(batch_size=1, length=reused)
+                logits = self.model.forward(
+                    np.asarray(prompt[reused:], dtype=np.int64),
+                    start_pos=reused,
+                    cache=cache,
+                )
+                state.final_logits = logits[0, -1]
+                forwarded += len(prompt) - reused
+        else:
+            reused = min(overlap, len(prompt) - 1)
+            state.cache = prefix.fork(batch_size=1, length=reused)
+            logits = self.model.forward(
+                np.asarray(prompt[reused:], dtype=np.int64),
+                start_pos=reused,
+                cache=state.cache,
+            )
+            state.step_logits = logits[0, -1]
+            forwarded += len(prompt) - reused
+            state.pos = len(prompt)
+            state.rng = np.random.default_rng(state.request.generation.seed)
+
+        state.status = RequestStatus.RUNNING
+        state.admitted_at = now
+        self.running.append(state)
+        self._log("admit", step, state.request_id, state.prefix_hit_tokens)
+        self.metrics.inc("admitted")
+        return forwarded
+
+    # -- lifecycle ------------------------------------------------------
+    def _finish(
+        self, state: RequestState, step: int, now: float, reason: str
+    ) -> None:
+        state.status = RequestStatus.FINISHED
+        state.finish_reason = reason
+        state.finished_at = now
+        state.release_engine_state()
+        if state in self.running:
+            self.running.remove(state)
+        self._log("finish", step, state.request_id, reason, len(state.output_ids))
+        self.metrics.inc("finished")
+        self.metrics.observe_finish(
+            state.submitted_at, state.first_token_at, now
+        )
+
+    def preempt(self, state: RequestState, step: int) -> None:
+        """Evict a running request back to the queue.
+
+        Decoding restarts from scratch on re-admission (fresh seeded rng,
+        fresh prefill), so the eventual output is identical to an
+        uninterrupted run — preemption costs work, never correctness.
+        Already-streamed tokens will be re-streamed (at-least-once).
+        """
+        self.running.remove(state)
+        state.release_engine_state()
+        state.output_ids = []
+        state.first_token_at = None
+        state.pos = 0
+        state.preemptions += 1
+        self.queue.requeue(state)
+        self._log("preempt", step, state.request_id)
+        self.metrics.inc("preempted")
+
+    # -- one iteration --------------------------------------------------
+    def step(
+        self,
+        step: int,
+        now: float,
+        directives: Optional[StepDirectives] = None,
+    ) -> StepReport:
+        """One continuous-batching iteration.
+
+        Order matters and is fixed: fault preemptions, deadline expiry,
+        admission (until the head no longer fits), then one decode token
+        for every running GENERATE request.  SCOREs complete within their
+        admission step.
+        """
+        report = StepReport()
+        directives = directives or StepDirectives()
+
+        # 1. scheduled preemptions (highest rank first so earlier indexes
+        #    stay valid while removing)
+        for rank in sorted(set(directives.preempt_ranks), reverse=True):
+            if 0 <= rank < len(self.running):
+                self.preempt(self.running[rank], step)
+                report.preempted += 1
+
+        # 2. expire queued requests whose admission deadline passed
+        for state in self.queue.expire_overdue(now):
+            self._log("expire", step, state.request_id)
+            self.metrics.inc("expired")
+            report.expired += 1
+
+        # 3. admit while the head of the queue fits
+        while True:
+            head = self.queue.peek()
+            if head is None or not self._fits(head):
+                break
+            state = self.queue.pop()
+            report.prefill_tokens += self._start(state, step, now)
+            report.prefix_hit_tokens += state.prefix_hit_tokens
+            report.admitted += 1
+            if state.request.kind is RequestKind.SCORE:
+                self._finish(state, step, now, "scored")
+                report.finished += 1
+            elif state.budget == 0:
+                self._finish(state, step, now, "length")
+                report.finished += 1
+
+        # 4. one decode token per running request (admission order)
+        for state in list(self.running):
+            tok = _select_token(
+                state.step_logits, state.request.generation, state.rng
+            )
+            state.output_ids.append(tok)
+            if state.first_token_at is None:
+                state.first_token_at = now
+            report.decode_rows += 1
+            self.metrics.inc("decoded_tokens")
+
+            reason = None
+            if tok in state.request.generation.stop_token_ids:
+                reason = "stop"
+            elif len(state.output_ids) >= state.budget:
+                reason = "length"
+            elif state.pos >= self.model.config.max_seq_len:
+                reason = "context"
+            if state.request.stream is not None:
+                state.request.stream(state.request_id, tok, reason is not None)
+            if reason is not None:
+                self._finish(state, step, now, reason)
+                report.finished += 1
+            else:
+                logits = self.model.forward(
+                    np.asarray([[tok]], dtype=np.int64),
+                    start_pos=state.pos,
+                    cache=state.cache,
+                )
+                state.step_logits = logits[0, -1]
+                state.pos += 1
+
+        return report

@@ -31,6 +31,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 MODEL_PATH = "src/repro/model/snippet.py"
 PARALLEL_PATH = "src/repro/parallel/snippet.py"
 EVAL_PATH = "src/repro/eval/snippet.py"
+SERVE_PATH = "src/repro/serve/snippet.py"
 
 
 def rules_fired(source, path=EVAL_PATH, config=None):
@@ -168,6 +169,43 @@ VIOLATIONS = {
         """,
         "src/repro/train/snippet.py",
     ),
+    "R7-time-call": (
+        "R7",
+        """
+        import time
+
+        def step_duration(self):
+            return time.monotonic() - self.started
+        """,
+        SERVE_PATH,
+    ),
+    "R7-aliased-import": (
+        "R7",
+        """
+        import time as _t
+
+        def now():
+            return _t.perf_counter_ns()
+        """,
+        SERVE_PATH,
+    ),
+    "R7-from-import": (
+        "R7",
+        """
+        from time import perf_counter
+        """,
+        SERVE_PATH,
+    ),
+    "R7-datetime-now": (
+        "R7",
+        """
+        from datetime import datetime
+
+        def stamp(event):
+            return (datetime.now(), event)
+        """,
+        SERVE_PATH,
+    ),
 }
 
 #: clean counterparts: the same constructs used the sanctioned way
@@ -249,6 +287,43 @@ CLEAN = {
             return factor
         """,
         PARALLEL_PATH,
+    ),
+    "R7-clock-adapter-exempt": (
+        """
+        import time
+
+        class WallClock:
+            def now(self):
+                return time.monotonic()
+        """,
+        "src/repro/serve/clock.py",
+    ),
+    "R7-injected-clock": (
+        """
+        def step(self):
+            now = self.clock.now()
+            self.clock.advance(self.cost.duration(0, 1))
+            return now
+        """,
+        SERVE_PATH,
+    ),
+    "R7-outside-scope": (
+        """
+        import time
+
+        def bench():
+            return time.perf_counter()
+        """,
+        EVAL_PATH,
+    ),
+    "R7-sleep-allowed": (
+        """
+        import time
+
+        def backoff(hint):
+            time.sleep(hint)
+        """,
+        SERVE_PATH,
     ),
 }
 
@@ -473,5 +548,5 @@ class TestCleanRepo:
             text=True,
         )
         assert proc.returncode == 0
-        for code in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for code in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
             assert code in proc.stdout

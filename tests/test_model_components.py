@@ -146,6 +146,81 @@ class TestGeneration:
         }
         assert picks == {0, 1, 2}
 
+    def test_top_p_one_is_identity(self):
+        """top_p=1.0 (the default) must not change the sampled stream."""
+        model = small_model(seed=2)
+        base = generate(
+            model, [1, 2], GenerationConfig(max_new_tokens=6, temperature=1.0, seed=9)
+        )
+        nucleus = generate(
+            model,
+            [1, 2],
+            GenerationConfig(max_new_tokens=6, temperature=1.0, top_p=1.0, seed=9),
+        )
+        assert nucleus == base
+
+    def test_top_p_tiny_nucleus_is_greedy(self):
+        model = small_model(seed=2)
+        greedy = greedy_decode(model, [1, 2], max_new_tokens=3)
+        nucleus = generate(
+            model,
+            [1, 2],
+            GenerationConfig(max_new_tokens=3, temperature=2.0, top_p=1e-9, seed=5),
+        )
+        assert nucleus == greedy
+
+    def test_top_p_restricts_candidate_set(self):
+        from repro.model.sampling import _select_token
+
+        logits = np.full(10, -20.0, dtype=np.float32)
+        logits[2] = 3.0  # ~73% of the mass
+        logits[6] = 2.0  # next ~27%; together ~100%
+        cfg = GenerationConfig(
+            max_new_tokens=1, temperature=1.0, top_p=0.9, seed=0
+        )
+        picks = {
+            _select_token(logits, cfg, np.random.default_rng(s))
+            for s in range(300)
+        }
+        assert picks == {2, 6}
+
+    def test_top_p_tie_breaks_toward_lower_ids(self):
+        """Tied logits at the nucleus boundary keep lower token ids, the
+        same discipline as the top_k path."""
+        from repro.model.sampling import _select_token
+
+        logits = np.ones(8, dtype=np.float32)  # uniform: each token is 1/8
+        cfg = GenerationConfig(
+            max_new_tokens=1, temperature=1.0, top_p=0.25, seed=0
+        )
+        picks = {
+            _select_token(logits, cfg, np.random.default_rng(s))
+            for s in range(300)
+        }
+        assert picks == {0, 1}
+
+    def test_top_p_composes_with_top_k(self):
+        from repro.model.sampling import _select_token
+
+        logits = np.asarray([4.0, 4.0, 4.0, 4.0, -9.0], dtype=np.float32)
+        # top_k keeps {0,1,2,3}; top_p=0.5 then keeps the first two of them
+        cfg = GenerationConfig(
+            max_new_tokens=1, temperature=1.0, top_k=4, top_p=0.5, seed=0
+        )
+        picks = {
+            _select_token(logits, cfg, np.random.default_rng(s))
+            for s in range(300)
+        }
+        assert picks == {0, 1}
+
+    def test_top_p_validation(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(top_p=0.0)
+        with pytest.raises(ValueError):
+            GenerationConfig(top_p=-0.5)
+        with pytest.raises(ValueError):
+            GenerationConfig(top_p=1.5)
+
     def test_long_prompt_left_truncated(self):
         model = small_model(seed=2)
         long_prompt = list(np.random.default_rng(0).integers(1, 40, size=100))
